@@ -1,0 +1,87 @@
+package mystore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"mystore/internal/auth"
+	"mystore/internal/cache"
+	"mystore/internal/cluster"
+	"mystore/internal/rest"
+	"mystore/internal/transport"
+)
+
+// ClusterBackend adapts a cluster Client to the REST gateway's Backend
+// interface, completing the paper's four-module stack (user interface →
+// distribution → cache → data storage).
+type ClusterBackend struct {
+	Client *Client
+}
+
+// Put implements rest.Backend.
+func (b ClusterBackend) Put(ctx context.Context, key string, val []byte) error {
+	return b.Client.Put(ctx, key, val)
+}
+
+// Get implements rest.Backend, translating missing keys to the gateway's
+// not-found sentinel.
+func (b ClusterBackend) Get(ctx context.Context, key string) ([]byte, error) {
+	val, err := b.Client.Get(ctx, key)
+	if errors.Is(err, cluster.ErrKeyNotFound) {
+		return nil, fmt.Errorf("%w: %q", rest.ErrNotFound, key)
+	}
+	if transport.IsRemote(err) {
+		// The remote coordinator reports unknown keys as an application
+		// error; surface them as 404s rather than 502s.
+		return nil, fmt.Errorf("%w: %q (%v)", rest.ErrNotFound, key, err)
+	}
+	return val, err
+}
+
+// Delete implements rest.Backend.
+func (b ClusterBackend) Delete(ctx context.Context, key string) error {
+	return b.Client.Delete(ctx, key)
+}
+
+// GatewayOptions configure a full MyStore HTTP front end.
+type GatewayOptions struct {
+	// CacheServers and CacheBytes size the cache tier; zero servers
+	// disables caching.
+	CacheServers int
+	CacheBytes   int64
+	// Auth, when non-nil, enforces URI signatures.
+	Auth *auth.TokenDB
+	// Workers sizes the logical-process pool.
+	Workers int
+}
+
+// Gateway bundles the REST gateway with its cache tier.
+type Gateway struct {
+	*rest.Gateway
+	Cache *cache.Tier
+}
+
+// NewGateway assembles gateway + cache + backend. Serve it with
+// http.ListenAndServe(addr, gw.Handler()).
+func NewGateway(backend rest.Backend, opts GatewayOptions) *Gateway {
+	var tier *cache.Tier
+	if opts.CacheServers > 0 {
+		per := opts.CacheBytes
+		if per <= 0 {
+			per = 64 << 20
+		}
+		tier = cache.NewTier(opts.CacheServers, per/int64(opts.CacheServers))
+	}
+	gw := rest.NewGateway(backend, rest.Config{
+		Cache:   tier,
+		Auth:    opts.Auth,
+		Workers: opts.Workers,
+	})
+	return &Gateway{Gateway: gw, Cache: tier}
+}
+
+// NewTokenDB creates an authentication database for gateway options.
+func NewTokenDB() *auth.TokenDB { return auth.NewTokenDB(0) }
+
+var _ rest.Backend = ClusterBackend{}

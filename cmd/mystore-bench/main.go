@@ -1,0 +1,101 @@
+// mystore-bench regenerates the paper's evaluation: every figure of §6,
+// the §6.1 context scalars, a shortened soak, and the design-choice
+// ablations. Results print in the same rows/series the paper reports.
+//
+// Usage:
+//
+//	mystore-bench [flags] <experiment>
+//
+// Experiments: fig11, fig12, fig13 (covers Fig 14 too), fig15, fig16,
+// fig17, context, soak, ablate, all.
+//
+// Flags:
+//
+//	-quick          run at smoke-test scale
+//	-items N        override the put-experiment operation count
+//	-read-items N   override the read-corpus size
+//	-step D         override the per-run measurement window
+//	-seed N         override the RNG seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mystore/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at smoke-test scale")
+	items := flag.Int("items", 0, "put-experiment operation count")
+	readItems := flag.Int("read-items", 0, "read corpus size")
+	step := flag.Duration("step", 0, "per-run measurement window")
+	seed := flag.Int64("seed", 0, "RNG seed")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|ablate|all")
+		os.Exit(2)
+	}
+
+	scale := experiments.Scale{}
+	if *quick {
+		scale = experiments.Quick()
+	}
+	if *items > 0 {
+		scale.PutItems = *items
+	}
+	if *readItems > 0 {
+		scale.ReadItems = *readItems
+	}
+	if *step > 0 {
+		scale.StepDuration = *step
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	which := flag.Arg(0)
+	if which == "fig14" {
+		which = "fig13" // one sweep produces both figures' series
+	}
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		if which != name && which != "all" {
+			return
+		}
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	tmp, err := os.MkdirTemp("", "mystore-bench-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(tmp)
+
+	run("fig11", func() (fmt.Stringer, error) { return experiments.RunFig11(scale, tmp) })
+	run("fig12", func() (fmt.Stringer, error) { return experiments.RunFig12(scale, tmp) })
+	run("fig13", func() (fmt.Stringer, error) { return experiments.RunFig13(scale) })
+	run("fig15", func() (fmt.Stringer, error) { return experiments.RunFig15(scale) })
+	run("fig16", func() (fmt.Stringer, error) { return experiments.RunFig16(scale) })
+	run("fig17", func() (fmt.Stringer, error) { return experiments.RunFig17(scale) })
+	run("context", func() (fmt.Stringer, error) { return experiments.RunContext(scale) })
+	run("soak", func() (fmt.Stringer, error) { return experiments.RunSoak(scale) })
+	run("ablate", func() (fmt.Stringer, error) { return experiments.RunAblations(scale) })
+
+	switch which {
+	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "ablate", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,106 @@
+// mystore-cli is the operator client: put/get/delete/query/status against
+// a running cluster.
+//
+//	mystore-cli -nodes 10.0.0.1:19870 put mykey "payload"
+//	mystore-cli -nodes 10.0.0.1:19870 get mykey
+//	mystore-cli -nodes 10.0.0.1:19870 del mykey
+//	mystore-cli -nodes 10.0.0.1:19870 query '^scene/'   # regex on self-key
+//	mystore-cli -nodes 10.0.0.1:19870 status
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"mystore"
+)
+
+func main() {
+	nodes := flag.String("nodes", "127.0.0.1:19870", "comma-separated node addresses")
+	timeout := flag.Duration("timeout", 10*time.Second, "operation timeout")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var nodeList []string
+	for _, s := range strings.Split(*nodes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			nodeList = append(nodeList, s)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	client, err := mystore.Connect(ctx, nodeList, mystore.ClientOptions{AutoRetry: true})
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		if err := client.Put(ctx, args[1], []byte(args[2])); err != nil {
+			log.Fatalf("put: %v", err)
+		}
+		fmt.Println("ok")
+	case "get":
+		if len(args) != 2 {
+			usage()
+		}
+		val, err := client.Get(ctx, args[1])
+		if err != nil {
+			log.Fatalf("get: %v", err)
+		}
+		os.Stdout.Write(val) //nolint:errcheck
+		fmt.Println()
+	case "del":
+		if len(args) != 2 {
+			usage()
+		}
+		if err := client.Delete(ctx, args[1]); err != nil {
+			log.Fatalf("del: %v", err)
+		}
+		fmt.Println("ok")
+	case "query":
+		if len(args) != 2 {
+			usage()
+		}
+		results, err := client.Query(ctx, mystore.Filter{
+			{Key: "self-key", Value: mystore.Document{{Key: "$regex", Value: args[1]}}},
+		}, mystore.FindOptions{Sort: []mystore.SortField{{Field: "self-key"}}})
+		if err != nil {
+			log.Fatalf("query: %v", err)
+		}
+		for _, r := range results {
+			fmt.Printf("%s\t%d bytes\n", r.Key, len(r.Val))
+		}
+		fmt.Printf("(%d results)\n", len(results))
+	case "status":
+		st, err := client.Status(ctx)
+		if err != nil {
+			log.Fatalf("status: %v", err)
+		}
+		fmt.Println(st)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mystore-cli [-nodes a,b,c] <command>
+commands:
+  put <key> <value>
+  get <key>
+  del <key>
+  query <self-key regex>
+  status`)
+	os.Exit(2)
+}

@@ -1,0 +1,70 @@
+// mystore-gateway serves the RESTful front end of paper Fig 1 over a
+// running MyStore cluster: GET/POST/DELETE on /data/{key}, an LRU cache
+// tier, a logical-worker pool, and optional URI-signature authentication.
+//
+//	mystore-gateway -listen :8080 -nodes 10.0.0.1:19870,10.0.0.2:19870
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"mystore"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "HTTP listen address")
+	nodes := flag.String("nodes", "127.0.0.1:19870", "comma-separated storage node addresses")
+	cacheServers := flag.Int("cache-servers", 4, "cache servers (0 disables the tier)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "total cache capacity in bytes")
+	workers := flag.Int("workers", 32, "logical worker processes")
+	authUsers := flag.String("auth-users", "", "comma-separated users to enable signatures for (empty disables auth)")
+	flag.Parse()
+
+	var nodeList []string
+	for _, s := range strings.Split(*nodes, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			nodeList = append(nodeList, s)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	client, err := mystore.Connect(ctx, nodeList, mystore.ClientOptions{AutoRetry: true})
+	cancel()
+	if err != nil {
+		log.Fatalf("connect to cluster: %v", err)
+	}
+
+	opts := mystore.GatewayOptions{
+		CacheServers: *cacheServers,
+		CacheBytes:   *cacheBytes,
+		Workers:      *workers,
+	}
+	if *authUsers != "" {
+		db := mystore.NewTokenDB()
+		for _, user := range strings.Split(*authUsers, ",") {
+			user = strings.TrimSpace(user)
+			if user == "" {
+				continue
+			}
+			secret, err := db.Register(user)
+			if err != nil {
+				log.Fatalf("register %s: %v", user, err)
+			}
+			// Secrets are shared with users out of band; print once at boot.
+			fmt.Printf("user %s secret %s\n", user, secret)
+		}
+		opts.Auth = db
+	}
+	gw := mystore.NewGateway(mystore.ClusterBackend{Client: client}, opts)
+	defer gw.Close()
+
+	fmt.Printf("gateway on %s -> cluster %v (cache: %d servers)\n", *listen, nodeList, *cacheServers)
+	if err := http.ListenAndServe(*listen, gw.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+// Failover: watch MyStore's failure machinery work (paper §5.2.4).
+//
+// The example breaks a node mid-stream and shows (1) writes staying
+// available through sloppy quorum + hinted handoff, (2) the hint writeback
+// when the node returns, and then (3) a permanent breakdown: seed-confirmed
+// long failure, ring shrink, and proactive re-replication restoring N
+// copies of every record.
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"mystore"
+)
+
+func main() {
+	cl, err := mystore.StartCluster(mystore.ClusterOptions{Nodes: 5, GossipInterval: 50 * time.Millisecond})
+	if err != nil {
+		log.Fatalf("start: %v", err)
+	}
+	defer cl.Close()
+	client, err := cl.Client()
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	ctx := context.Background()
+
+	put := func(n int, prefix string) (ok, failed int) {
+		for i := 0; i < n; i++ {
+			if err := client.Put(ctx, fmt.Sprintf("%s-%04d", prefix, i), []byte("payload")); err != nil {
+				failed++
+			} else {
+				ok++
+			}
+		}
+		return
+	}
+	replicasOf := func(prefix string, n int) (total int) {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%s-%04d", prefix, i)
+			for _, node := range cl.Nodes() {
+				if _, found, _ := node.Coordinator().GetLocal(key); found {
+					total++
+				}
+			}
+		}
+		return
+	}
+	hintCount := func() (total int) {
+		for _, node := range cl.Nodes() {
+			total += node.Coordinator().HintCount()
+		}
+		return
+	}
+
+	// ---- Phase 1: healthy baseline ----
+	ok, failed := put(100, "base")
+	fmt.Printf("healthy: %d puts ok, %d failed, %d/300 replicas\n", ok, failed, replicasOf("base", 100))
+
+	// ---- Phase 2: short failure ----
+	fmt.Println("\n>>> node 3 suffers a short failure (network exception)")
+	cl.StopNode(3)
+	time.Sleep(300 * time.Millisecond) // let the failure detector notice
+	ok, failed = put(100, "short")
+	fmt.Printf("during outage: %d puts ok, %d failed (sloppy quorum kept writes available)\n", ok, failed)
+	fmt.Printf("hints parked for the down node: %d\n", hintCount())
+
+	fmt.Println(">>> node 3 recovers")
+	cl.RestartNode(3)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && hintCount() > 0 {
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("hints after writeback: %d; replicas %d/300\n", hintCount(), replicasOf("short", 100))
+
+	// ---- Phase 3: long failure ----
+	fmt.Println("\n>>> node 4 breaks down permanently")
+	cl.StopNode(4)
+	// Wait for the seed to confirm the long failure and for survivors to
+	// re-replicate (gossip LongFailAfter = 10 intervals).
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		removedEverywhere := true
+		for i, node := range cl.Nodes() {
+			if i == 4 {
+				continue
+			}
+			if node.Ring().Contains(cl.Addrs()[4]) {
+				removedEverywhere = false
+				break
+			}
+		}
+		if removedEverywhere {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Println("seed confirmed the long failure; node 4 removed from every ring")
+	// Give rebalancing a moment, then census replicas among survivors.
+	time.Sleep(time.Second)
+	total := 0
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("base-%04d", i)
+		for j, node := range cl.Nodes() {
+			if j == 4 {
+				continue
+			}
+			if _, found, _ := node.Coordinator().GetLocal(key); found {
+				total++
+			}
+		}
+	}
+	fmt.Printf("replicas of the original data among 4 survivors: %d/300 (re-replication restored N=3)\n", total)
+
+	// Reads and writes remain healthy on the shrunken cluster.
+	ok, failed = put(50, "after")
+	misses := 0
+	for i := 0; i < 100; i++ {
+		if _, err := client.Get(ctx, fmt.Sprintf("base-%04d", i)); err != nil {
+			misses++
+		}
+	}
+	fmt.Printf("after breakdown: %d puts ok %d failed; %d read misses out of 100\n", ok, failed, misses)
+}

@@ -1,0 +1,170 @@
+// VeePalms: the workload that motivated MyStore (paper §1, §6) — a
+// multi-discipline virtual-experiment education platform storing XML
+// experiment components and scenes, guideline videos and experiment
+// reports, serving tens of thousands of concurrent students.
+//
+// The example loads a synthetic VeePalms content library, runs the
+// platform's characteristic queries, and then simulates a busy lab session
+// with concurrent student traffic.
+//
+//	go run ./examples/veepalms
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mystore"
+)
+
+type asset struct {
+	key        string
+	kind       string // component | scene | video | report
+	discipline string
+	size       int
+}
+
+func main() {
+	cl, err := mystore.StartCluster(mystore.ClusterOptions{Nodes: 5})
+	if err != nil {
+		log.Fatalf("start cluster: %v", err)
+	}
+	defer cl.Close()
+	client, err := cl.Client()
+	if err != nil {
+		log.Fatalf("connect: %v", err)
+	}
+	ctx := context.Background()
+
+	// ---- Load the content library ----
+	disciplines := []string{"physics", "chemistry", "biology", "electronics"}
+	kinds := []struct {
+		name string
+		size int
+	}{
+		{"component", 4 << 10}, // XML experiment components
+		{"scene", 60 << 10},    // XML scenes
+		{"video", 2 << 20},     // guideline videos
+		{"report", 24 << 10},   // experiment reports (PDF/DOC)
+	}
+	var assets []asset
+	rng := rand.New(rand.NewSource(1))
+	for d, discipline := range disciplines {
+		for k, kind := range kinds {
+			for i := 0; i < 12; i++ {
+				a := asset{
+					key:        fmt.Sprintf("%s/%s/%03d", discipline, kind.name, i),
+					kind:       kind.name,
+					discipline: discipline,
+					size:       kind.size + rng.Intn(kind.size/2+1),
+				}
+				assets = append(assets, a)
+				doc := mystore.Document{
+					{Key: "kind", Value: a.kind},
+					{Key: "discipline", Value: a.discipline},
+					{Key: "bytes", Value: int64(a.size)},
+					{Key: "course", Value: fmt.Sprintf("C%d%d", d+1, k+1)},
+					{Key: "payload", Value: make([]byte, a.size)},
+				}
+				if err := client.PutDoc(ctx, a.key, doc); err != nil {
+					log.Fatalf("load %s: %v", a.key, err)
+				}
+			}
+		}
+	}
+	fmt.Printf("loaded %d assets across %d disciplines\n", len(assets), len(disciplines))
+
+	// ---- The platform's characteristic queries ----
+	// 1. Everything a course needs, MongoDB-style.
+	results, err := client.Query(ctx, mystore.Filter{
+		{Key: "doc.discipline", Value: "physics"},
+		{Key: "doc.kind", Value: mystore.Document{{Key: "$in", Value: mystore.A{"component", "scene"}}}},
+	}, mystore.FindOptions{Sort: []mystore.SortField{{Field: "self-key"}}})
+	if err != nil {
+		log.Fatalf("course query: %v", err)
+	}
+	fmt.Printf("physics components+scenes: %d\n", len(results))
+
+	// 2. Large videos, for the future-work segmentation planning.
+	results, err = client.Query(ctx, mystore.Filter{
+		{Key: "doc.kind", Value: "video"},
+		{Key: "doc.bytes", Value: mystore.Document{{Key: "$gt", Value: int64(2 << 20)}}},
+	}, mystore.FindOptions{})
+	if err != nil {
+		log.Fatalf("video query: %v", err)
+	}
+	fmt.Printf("videos > 2 MiB: %d\n", len(results))
+
+	// 3. Regex over the keyspace — a query Dynamo-style stores cannot do.
+	results, err = client.Query(ctx, mystore.Filter{
+		{Key: "self-key", Value: mystore.Document{{Key: "$regex", Value: "^electronics/scene/"}}},
+	}, mystore.FindOptions{Limit: 5})
+	if err != nil {
+		log.Fatalf("regex query: %v", err)
+	}
+	fmt.Printf("electronics scenes (first 5): %d\n", len(results))
+
+	// ---- A busy lab session ----
+	// Students read scenes and components, occasionally submit reports.
+	const students = 40
+	const actionsPerStudent = 20
+	start := time.Now()
+	var wg sync.WaitGroup
+	var reads, writes, failures int64
+	var mu sync.Mutex
+	for s := 0; s < students; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			srng := rand.New(rand.NewSource(int64(s)))
+			for i := 0; i < actionsPerStudent; i++ {
+				if srng.Intn(10) < 8 {
+					a := assets[srng.Intn(len(assets))]
+					if _, err := client.Get(ctx, a.key); err != nil {
+						mu.Lock()
+						failures++
+						mu.Unlock()
+						continue
+					}
+					mu.Lock()
+					reads++
+					mu.Unlock()
+				} else {
+					key := fmt.Sprintf("submissions/s%02d/r%02d", s, i)
+					report := mystore.Document{
+						{Key: "kind", Value: "submission"},
+						{Key: "student", Value: fmt.Sprintf("s%02d", s)},
+						{Key: "payload", Value: make([]byte, 8<<10)},
+					}
+					if err := client.PutDoc(ctx, key, report); err != nil {
+						mu.Lock()
+						failures++
+						mu.Unlock()
+						continue
+					}
+					mu.Lock()
+					writes++
+					mu.Unlock()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	fmt.Printf("lab session: %d reads, %d writes, %d failures in %v (%.0f req/s)\n",
+		reads, writes, failures, elapsed.Round(time.Millisecond),
+		float64(reads+writes)/elapsed.Seconds())
+
+	// Grade submissions are queryable immediately.
+	subs, err := client.Query(ctx, mystore.Filter{
+		{Key: "doc.kind", Value: "submission"},
+	}, mystore.FindOptions{})
+	if err != nil {
+		log.Fatalf("submission query: %v", err)
+	}
+	fmt.Printf("submissions stored: %d\n", len(subs))
+}

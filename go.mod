@@ -1,0 +1,3 @@
+module mystore
+
+go 1.22

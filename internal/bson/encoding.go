@@ -1,0 +1,35 @@
+package bson
+
+import (
+	"encoding/binary"
+	"math"
+	"strconv"
+)
+
+// Little-endian integer helpers. BSON mandates little-endian encoding for
+// all fixed-width integers.
+
+func appendInt32(buf []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, uint32(v))
+}
+
+func appendInt64(buf []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
+}
+
+func putInt32(buf []byte, v int32) {
+	binary.LittleEndian.PutUint32(buf, uint32(v))
+}
+
+func getInt32(buf []byte) int32 {
+	return int32(binary.LittleEndian.Uint32(buf))
+}
+
+func getInt64(buf []byte) int64 {
+	return int64(binary.LittleEndian.Uint64(buf))
+}
+
+func float64bits(f float64) uint64     { return math.Float64bits(f) }
+func float64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+func itoa(i int) string { return strconv.Itoa(i) }

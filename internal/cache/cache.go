@@ -1,0 +1,185 @@
+// Package cache implements MyStore's cache module (paper §4): an
+// independent memory-cache tier of several servers, each an LRU store of
+// {key: value} items, with client-side load balancing "based on the hash of
+// resources' keys". Items read, inserted or updated recently are cached;
+// the gateway consults the cache before the storage cluster and fills it on
+// miss.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"mystore/internal/ring"
+)
+
+// Server is one LRU cache server bounded by total value bytes.
+type Server struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type entry struct {
+	key string
+	val []byte
+}
+
+// NewServer returns a cache holding at most capacity bytes of values.
+func NewServer(capacity int64) *Server {
+	if capacity <= 0 {
+		capacity = 64 << 20
+	}
+	return &Server{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and whether it was present, refreshing
+// recency.
+func (s *Server) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.order.MoveToFront(el)
+	s.hits++
+	val := el.Value.(*entry).val
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
+// Set inserts or refreshes key, evicting LRU items to stay within
+// capacity. Values larger than the whole capacity are not cached.
+func (s *Server) Set(key string, val []byte) {
+	size := int64(len(val))
+	if size > s.capacity {
+		return
+	}
+	stored := make([]byte, len(val))
+	copy(stored, val)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		old := el.Value.(*entry)
+		s.used += size - int64(len(old.val))
+		old.val = stored
+		s.order.MoveToFront(el)
+	} else {
+		el := s.order.PushFront(&entry{key: key, val: stored})
+		s.items[key] = el
+		s.used += size
+	}
+	for s.used > s.capacity {
+		oldest := s.order.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		s.order.Remove(oldest)
+		delete(s.items, e.key)
+		s.used -= int64(len(e.val))
+		s.evictions++
+	}
+}
+
+// Delete removes key if cached.
+func (s *Server) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry)
+		s.order.Remove(el)
+		delete(s.items, key)
+		s.used -= int64(len(e.val))
+	}
+}
+
+// Len returns the number of cached items.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// UsedBytes returns the bytes of cached values.
+func (s *Server) UsedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Stats summarize server activity.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Items                   int
+	UsedBytes               int64
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
+		Items: len(s.items), UsedBytes: s.used}
+}
+
+// Tier is the client-side view of several cache servers: each key maps to
+// one server by key hash, so servers hold disjoint partitions (paper: cache
+// servers "are responsible for different partitions of data resources").
+type Tier struct {
+	servers []*Server
+}
+
+// NewTier builds a tier of n servers with the given per-server capacity.
+func NewTier(n int, perServerCapacity int64) *Tier {
+	if n <= 0 {
+		n = 1
+	}
+	t := &Tier{}
+	for i := 0; i < n; i++ {
+		t.servers = append(t.servers, NewServer(perServerCapacity))
+	}
+	return t
+}
+
+// pick maps key to its server via the same Ketama hash the ring uses.
+func (t *Tier) pick(key string) *Server {
+	return t.servers[int(ring.Hash(key))%len(t.servers)]
+}
+
+// Get looks the key up on its server.
+func (t *Tier) Get(key string) ([]byte, bool) { return t.pick(key).Get(key) }
+
+// Set stores the key on its server.
+func (t *Tier) Set(key string, val []byte) { t.pick(key).Set(key, val) }
+
+// Delete removes the key from its server.
+func (t *Tier) Delete(key string) { t.pick(key).Delete(key) }
+
+// Servers exposes the underlying servers (stats, tests).
+func (t *Tier) Servers() []*Server { return t.servers }
+
+// Stats aggregates across servers.
+func (t *Tier) Stats() Stats {
+	var agg Stats
+	for _, s := range t.servers {
+		st := s.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Items += st.Items
+		agg.UsedBytes += st.UsedBytes
+	}
+	return agg
+}

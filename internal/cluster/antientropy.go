@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"context"
+	"math/rand"
+
+	"mystore/internal/bson"
+	"mystore/internal/docstore"
+	"mystore/internal/nwr"
+	"mystore/internal/transport"
+)
+
+// Active anti-entropy: the paper's future-work direction of "solving
+// problems on data's consistency" (§7). Read repair only fixes replicas of
+// keys that are actually read; anti-entropy sweeps the rest. Each round a
+// node picks a random live peer, sends version digests of the local
+// records whose replica sets include both nodes, and the pair reconciles:
+// the peer pushes back its newer versions and asks for the ones it is
+// missing or holds stale.
+
+// MsgAntiEntropy carries one digest batch.
+const MsgAntiEntropy = "node.ae.digest"
+
+// aeBatchLimit bounds keys per round so a round stays cheap under load.
+const aeBatchLimit = 512
+
+// AntiEntropyRound reconciles a batch of shared keys with one random live
+// peer. It returns how many records were pushed to the peer and how many
+// newer records were pulled from it.
+func (n *Node) AntiEntropyRound(ctx context.Context) (pushed, pulled int) {
+	peers := n.gossiper.LiveEndpoints()
+	candidates := peers[:0]
+	for _, p := range peers {
+		if p != n.Addr() {
+			candidates = append(candidates, p)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, 0
+	}
+	peer := candidates[rand.Intn(len(candidates))]
+
+	// Digest the local records the peer also owns.
+	docs, err := n.store.C(nwr.RecordCollection).Find(docstore.Filter{}, docstore.FindOptions{})
+	if err != nil {
+		return 0, 0
+	}
+	type digestEntry struct {
+		rec nwr.Record
+	}
+	var entries []digestEntry
+	for _, doc := range docs {
+		rec, err := nwr.RecordFromDoc(doc)
+		if err != nil {
+			continue
+		}
+		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
+		if err != nil {
+			continue
+		}
+		peerOwns := false
+		for _, o := range owners {
+			if o == peer {
+				peerOwns = true
+				break
+			}
+		}
+		if peerOwns {
+			entries = append(entries, digestEntry{rec: rec})
+			if len(entries) >= aeBatchLimit {
+				break
+			}
+		}
+	}
+	if len(entries) == 0 {
+		return 0, 0
+	}
+	digests := make(bson.A, len(entries))
+	for i, e := range entries {
+		digests[i] = bson.D{
+			{Key: "key", Value: e.rec.Key},
+			{Key: "ver", Value: e.rec.Ver},
+			{Key: "origin", Value: e.rec.Origin},
+		}
+	}
+	resp, err := n.tr.Call(ctx, peer, transport.Message{
+		Type: MsgAntiEntropy,
+		Body: bson.D{{Key: "digests", Value: digests}},
+	})
+	if err != nil {
+		return 0, 0
+	}
+	// Apply the peer's newer versions.
+	if v, ok := resp.Get("newer"); ok {
+		if arr, isArr := v.(bson.A); isArr {
+			for _, e := range arr {
+				d, isDoc := e.(bson.D)
+				if !isDoc {
+					continue
+				}
+				rec, err := nwr.RecordFromDoc(d)
+				if err != nil {
+					continue
+				}
+				if n.coord.ApplyLocal(rec) == nil {
+					pulled++
+				}
+			}
+		}
+	}
+	// Push the records the peer asked for.
+	wantKeys := map[string]bool{}
+	if v, ok := resp.Get("want"); ok {
+		if arr, isArr := v.(bson.A); isArr {
+			for _, e := range arr {
+				if s, isStr := e.(string); isStr {
+					wantKeys[s] = true
+				}
+			}
+		}
+	}
+	for _, e := range entries {
+		if wantKeys[e.rec.Key] {
+			if n.coord.WriteReplicaTo(ctx, peer, e.rec) {
+				pushed++
+			}
+		}
+	}
+	return pushed, pulled
+}
+
+// handleAntiEntropy serves the peer side: compare each digest against local
+// state, return records strictly newer here and the keys wanted from the
+// caller.
+func (n *Node) handleAntiEntropy(body bson.D) (bson.D, error) {
+	var newer bson.A
+	var want bson.A
+	v, _ := body.Get("digests")
+	arr, ok := v.(bson.A)
+	if !ok {
+		return bson.D{}, nil
+	}
+	for _, e := range arr {
+		d, isDoc := e.(bson.D)
+		if !isDoc {
+			continue
+		}
+		key := d.StringOr("key", "")
+		verV, _ := d.Get("ver")
+		ver, _ := verV.(int64)
+		remote := nwr.Record{Key: key, Ver: ver, Origin: d.StringOr("origin", "")}
+		local, found, err := n.coord.GetLocal(key)
+		if err != nil {
+			continue
+		}
+		switch {
+		case !found:
+			want = append(want, key)
+		case local.Newer(remote):
+			newer = append(newer, local.ToDoc())
+		case remote.Newer(local):
+			want = append(want, key)
+		}
+	}
+	return bson.D{
+		{Key: "newer", Value: newer},
+		{Key: "want", Value: want},
+	}, nil
+}

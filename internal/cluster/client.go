@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/docstore"
+	"mystore/internal/transport"
+)
+
+// Client talks to a MyStore cluster from outside: it connects to any node
+// ("all physical nodes have open service interfaces over TCP, which lets
+// clients can connect to any node in the system to get/put data", §6.2) and
+// rotates across the nodes it knows, skipping ones that fail.
+//
+// Connect follows the paper's three-step procedure (§5.1): the transport
+// supplies the connection pool, ClientOptions carry the connection
+// parameters, and the version query performs the real connection test — the
+// client is only usable once a node has actually answered.
+type Client struct {
+	tr    transport.Transport
+	opts  ClientOptions
+	mu    sync.Mutex
+	nodes []string
+	next  int
+}
+
+// ClientOptions are the connection parameters (the paper's
+// connecttimeoutms / sockettimeoutms / autoconnectretry analogues).
+type ClientOptions struct {
+	// ConnectTimeout bounds the Connect test per node. Zero means 2s.
+	ConnectTimeout time.Duration
+	// CallTimeout bounds each data operation. Zero means 10s.
+	CallTimeout time.Duration
+	// AutoRetry, when true, retries a failed operation once on the next
+	// node in rotation.
+	AutoRetry bool
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.ConnectTimeout <= 0 {
+		o.ConnectTimeout = 2 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// ErrNoNodes means the client has no reachable node.
+var ErrNoNodes = errors.New("cluster: no reachable nodes")
+
+// ErrKeyNotFound is returned by Get for absent or deleted keys.
+var ErrKeyNotFound = errors.New("cluster: key not found")
+
+// Connect builds a client over tr and verifies at least one node answers
+// the version test. Nodes that fail the test are kept in rotation (they may
+// recover) but at least one must pass now, mirroring "only when the
+// connection to the database is built really, the Connect will return
+// true".
+func Connect(ctx context.Context, tr transport.Transport, nodes []string, opts ClientOptions) (*Client, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	c := &Client{tr: tr, opts: opts.withDefaults(), nodes: append([]string(nil), nodes...)}
+	var lastErr error
+	for _, node := range nodes {
+		cctx, cancel := context.WithTimeout(ctx, c.opts.ConnectTimeout)
+		resp, err := tr.Call(cctx, node, transport.Message{Type: MsgVersion})
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if v := resp.StringOr("version", ""); v == "" {
+			lastErr = fmt.Errorf("cluster: node %s returned no version", node)
+			continue
+		}
+		return c, nil
+	}
+	return nil, fmt.Errorf("%w: connection test failed everywhere: %v", ErrNoNodes, lastErr)
+}
+
+// pick returns the next node in rotation.
+func (c *Client) pick() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	node := c.nodes[c.next%len(c.nodes)]
+	c.next++
+	return node
+}
+
+// call performs one operation, optionally retrying on the next node.
+func (c *Client) call(ctx context.Context, msgType string, body bson.D) (bson.D, error) {
+	attempts := 1
+	if c.opts.AutoRetry {
+		attempts = 2
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		node := c.pick()
+		cctx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+		resp, err := c.tr.Call(cctx, node, transport.Message{Type: msgType, Body: body})
+		cancel()
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		// Remote application errors will not improve on another node if
+		// they are data errors, but quorum failures might; retry anyway.
+	}
+	return nil, lastErr
+}
+
+// Put stores val under key.
+func (c *Client) Put(ctx context.Context, key string, val []byte) error {
+	_, err := c.call(ctx, MsgPut, bson.D{
+		{Key: "self-key", Value: key},
+		{Key: "val", Value: val},
+	})
+	return err
+}
+
+// PutDoc stores a BSON document under key; its fields become queryable via
+// Query filters under the "doc." prefix.
+func (c *Client) PutDoc(ctx context.Context, key string, doc bson.D) error {
+	enc, err := bson.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	return c.Put(ctx, key, enc)
+}
+
+// Get fetches the value stored under key.
+func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.call(ctx, MsgGet, bson.D{{Key: "self-key", Value: key}})
+	if err != nil {
+		return nil, err
+	}
+	if found, ok := resp.Get("found"); !ok || found != true {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	v, _ := resp.Get("val")
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, errors.New("cluster: malformed get response")
+	}
+	return b, nil
+}
+
+// GetDoc fetches and decodes a document stored with PutDoc.
+func (c *Client) GetDoc(ctx context.Context, key string) (bson.D, error) {
+	val, err := c.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return bson.Unmarshal(val)
+}
+
+// Delete tombstones key.
+func (c *Client) Delete(ctx context.Context, key string) error {
+	_, err := c.call(ctx, MsgDelete, bson.D{{Key: "self-key", Value: key}})
+	return err
+}
+
+// Query runs a distributed query. Filters address record fields (self-key,
+// size, isDel) and stored-document fields as "doc.<field>".
+func (c *Client) Query(ctx context.Context, filter docstore.Filter, opts docstore.FindOptions) ([]QueryResult, error) {
+	resp, err := c.call(ctx, MsgQuery, encodeQuery(filter, opts))
+	if err != nil {
+		return nil, err
+	}
+	v, _ := resp.Get("results")
+	arr, ok := v.(bson.A)
+	if !ok {
+		return nil, nil
+	}
+	out := make([]QueryResult, 0, len(arr))
+	for _, e := range arr {
+		d, isDoc := e.(bson.D)
+		if !isDoc {
+			continue
+		}
+		r := QueryResult{Key: d.StringOr("self-key", "")}
+		if val, ok := d.Get("val"); ok {
+			if b, isBytes := val.([]byte); isBytes {
+				r.Val = b
+			}
+		}
+		if doc, ok := d.Get("doc"); ok {
+			if dd, isDoc := doc.(bson.D); isDoc {
+				r.Doc = dd
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Aggregate runs a distributed group-by: filter as in Query, grouped by
+// spec.By with spec's accumulators. One result document per group, ordered
+// by group value.
+func (c *Client) Aggregate(ctx context.Context, filter docstore.Filter, spec docstore.GroupSpec) ([]bson.D, error) {
+	body := encodeQuery(filter, docstore.FindOptions{})
+	body = append(body, bson.E{Key: "by", Value: spec.By})
+	accs := make(bson.A, len(spec.Accumulators))
+	for i, a := range spec.Accumulators {
+		accs[i] = bson.D{
+			{Key: "name", Value: a.Name},
+			{Key: "op", Value: a.Op},
+			{Key: "field", Value: a.Field},
+		}
+	}
+	body = append(body, bson.E{Key: "accs", Value: accs})
+	resp, err := c.call(ctx, MsgAggregate, body)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := resp.Get("rows")
+	arr, ok := v.(bson.A)
+	if !ok {
+		return nil, nil
+	}
+	out := make([]bson.D, 0, len(arr))
+	for _, e := range arr {
+		if d, isDoc := e.(bson.D); isDoc {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// Status fetches a node status snapshot (round-robin across nodes).
+func (c *Client) Status(ctx context.Context) (bson.D, error) {
+	return c.call(ctx, MsgStatus, nil)
+}
+
+// Nodes returns the node addresses in rotation.
+func (c *Client) Nodes() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.nodes...)
+}

@@ -1,0 +1,515 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/docstore"
+	"mystore/internal/gossip"
+	"mystore/internal/nwr"
+	"mystore/internal/transport"
+)
+
+// harness runs an in-process cluster over a MemNetwork with a virtual
+// clock, mirroring the paper's 5-node testbed (1 seed + 4 normal nodes).
+type harness struct {
+	t     *testing.T
+	net   *transport.MemNetwork
+	eps   []*transport.MemTransport
+	nodes []*Node
+	mu    sync.Mutex
+	now   time.Time
+}
+
+func addr(i int) string { return fmt.Sprintf("10.0.0.%d:19870", i+1) }
+
+func newHarness(t *testing.T, n int) *harness {
+	t.Helper()
+	h := &harness{t: t, net: transport.NewMemNetwork(), now: time.Unix(5000, 0)}
+	seeds := []string{addr(0)}
+	for i := 0; i < n; i++ {
+		h.addNode(i, seeds)
+	}
+	return h
+}
+
+func (h *harness) clock() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.now
+}
+
+func (h *harness) addNode(i int, seeds []string) *Node {
+	h.t.Helper()
+	ep, err := h.net.Endpoint(addr(i))
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	node, err := NewNode(ep, Config{
+		Seeds:          seeds,
+		Weight:         1,
+		NWR:            nwr.Config{N: 3, W: 2, R: 1, Retries: 1, CallTimeout: time.Second},
+		GossipInterval: time.Second,
+		Now:            h.clock,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(func() { node.Close() })
+	h.eps = append(h.eps, ep)
+	h.nodes = append(h.nodes, node)
+	return node
+}
+
+// advance moves the harness's virtual clock forward.
+func (h *harness) advance(d time.Duration) {
+	h.mu.Lock()
+	h.now = h.now.Add(d)
+	h.mu.Unlock()
+}
+
+// converge runs gossip rounds until every node knows every other (or the
+// round budget runs out).
+func (h *harness) converge(rounds int) {
+	for r := 0; r < rounds; r++ {
+		for i, n := range h.nodes {
+			if h.eps[i].Closed() {
+				continue
+			}
+			n.Tick(context.Background())
+		}
+		h.mu.Lock()
+		h.now = h.now.Add(time.Second)
+		h.mu.Unlock()
+	}
+}
+
+func (h *harness) client(t *testing.T) *Client {
+	t.Helper()
+	ep, err := h.net.Endpoint(fmt.Sprintf("client-%d:0", len(h.net.Addresses())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []string
+	for i := range h.nodes {
+		nodes = append(nodes, addr(i))
+	}
+	c, err := Connect(context.Background(), ep, nodes, ClientOptions{AutoRetry: true})
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	return c
+}
+
+func TestMembershipConvergence(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	for i, n := range h.nodes {
+		if got := n.Ring().Len(); got != 5 {
+			t.Fatalf("node %d ring has %d members, want 5", i, got)
+		}
+	}
+}
+
+func TestClientConnectTestsConnection(t *testing.T) {
+	h := newHarness(t, 3)
+	h.converge(8)
+	// Healthy connect.
+	c := h.client(t)
+	if len(c.Nodes()) != 3 {
+		t.Fatalf("client nodes = %v", c.Nodes())
+	}
+	// All nodes down: Connect must fail the test, as the paper requires a
+	// real connection before returning true.
+	for _, ep := range h.eps {
+		ep.Close()
+	}
+	ep, _ := h.net.Endpoint("client-x:0")
+	if _, err := Connect(context.Background(), ep, []string{addr(0)}, ClientOptions{}); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("Connect err = %v, want ErrNoNodes", err)
+	}
+	if _, err := Connect(context.Background(), ep, nil, ClientOptions{}); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("Connect with no nodes err = %v", err)
+	}
+}
+
+func TestClientPutGetDelete(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	if err := c.Put(ctx, "Resistor5", []byte("component-xml")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	val, err := c.Get(ctx, "Resistor5")
+	if err != nil || string(val) != "component-xml" {
+		t.Fatalf("Get = %q, %v", val, err)
+	}
+	if err := c.Delete(ctx, "Resistor5"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := c.Get(ctx, "Resistor5"); !errors.Is(err, ErrKeyNotFound) && !transport.IsRemote(err) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+}
+
+func TestClientDocQueries(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		doc := bson.D{
+			{Key: "type", Value: []string{"scene", "video", "report"}[i%3]},
+			{Key: "course", Value: fmt.Sprintf("EE%d", 100+i%2)},
+			{Key: "seq", Value: int64(i)},
+		}
+		if err := c.PutDoc(ctx, fmt.Sprintf("item-%02d", i), doc); err != nil {
+			t.Fatalf("PutDoc: %v", err)
+		}
+	}
+	// Complex query: embedded-document field + operator, sorted, limited.
+	results, err := c.Query(ctx, docstore.Filter{
+		{Key: "doc.type", Value: "scene"},
+		{Key: "doc.seq", Value: bson.D{{Key: "$gte", Value: int64(9)}}},
+	}, docstore.FindOptions{
+		Sort:  []docstore.SortField{{Field: "self-key", Desc: false}},
+		Limit: 4,
+	})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("Query returned %d results, want 4", len(results))
+	}
+	prev := ""
+	for _, r := range results {
+		if r.Key <= prev {
+			t.Fatalf("results unsorted: %q after %q", r.Key, prev)
+		}
+		prev = r.Key
+		if r.Doc.StringOr("type", "") != "scene" {
+			t.Fatalf("non-scene result %s", r.Doc)
+		}
+	}
+	// Regex on self-key, the MongoDB-style query Dynamo cannot serve.
+	results, err = c.Query(ctx, docstore.Filter{
+		{Key: "self-key", Value: bson.D{{Key: "$regex", Value: "^item-0[0-3]$"}}},
+	}, docstore.FindOptions{})
+	if err != nil || len(results) != 4 {
+		t.Fatalf("regex query = %d results, %v", len(results), err)
+	}
+	// GetDoc round trip.
+	doc, err := c.GetDoc(ctx, "item-05")
+	if err != nil || doc.StringOr("type", "") == "" {
+		t.Fatalf("GetDoc = %s, %v", doc, err)
+	}
+}
+
+func TestDistributedAggregate(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	for i := 0; i < 24; i++ {
+		doc := bson.D{
+			{Key: "kind", Value: []string{"scene", "video"}[i%2]},
+			{Key: "bytes", Value: int64(100 * (i + 1))},
+		}
+		if err := c.PutDoc(ctx, fmt.Sprintf("agg-%02d", i), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One record deleted: aggregation must not see it.
+	c.Delete(ctx, "agg-00") //nolint:errcheck
+	rows, err := c.Aggregate(ctx, docstore.Filter{}, docstore.GroupSpec{
+		By: "doc.kind",
+		Accumulators: []docstore.AccumulatorSpec{
+			{Name: "n", Op: docstore.AccCount},
+			{Name: "total", Op: docstore.AccSum, Field: "doc.bytes"},
+			{Name: "maxB", Op: docstore.AccMax, Field: "doc.bytes"},
+		},
+	})
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups = %d, want 2", len(rows))
+	}
+	// Despite N=3 replication, counts must reflect DISTINCT keys, not
+	// replicas: 11 scenes (one deleted) + 12 videos.
+	byKind := map[string]bson.D{}
+	for _, r := range rows {
+		id, _ := r.Get("_id")
+		byKind[id.(string)] = r
+	}
+	if n, _ := byKind["scene"].Get("n"); n != int64(11) {
+		t.Fatalf("scene count = %v, want 11 (dedup across replicas, minus delete)", n)
+	}
+	if n, _ := byKind["video"].Get("n"); n != int64(12) {
+		t.Fatalf("video count = %v, want 12", n)
+	}
+	// scene bytes: indices 2,4,...,22 → 100*(3+5+...+23); video: 100*(2+4+...+24).
+	wantScene := int64(0)
+	for i := 2; i < 24; i += 2 {
+		wantScene += int64(100 * (i + 1))
+	}
+	if total, _ := byKind["scene"].Get("total"); total != wantScene {
+		t.Fatalf("scene total = %v, want %d", total, wantScene)
+	}
+	if maxB, _ := byKind["video"].Get("maxB"); maxB != int64(2400) {
+		t.Fatalf("video maxB = %v", maxB)
+	}
+}
+
+func TestQueryExcludesDeleted(t *testing.T) {
+	h := newHarness(t, 3)
+	h.converge(8)
+	c := h.client(t)
+	ctx := context.Background()
+	c.Put(ctx, "alive", []byte("x"))  //nolint:errcheck
+	c.Put(ctx, "doomed", []byte("y")) //nolint:errcheck
+	c.Delete(ctx, "doomed")           //nolint:errcheck
+	results, err := c.Query(ctx, docstore.Filter{}, docstore.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Key != "alive" {
+		t.Fatalf("Query = %+v, want only 'alive'", results)
+	}
+}
+
+func TestReplicaDistributionAcrossNodes(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	const records = 200
+	for i := 0; i < records; i++ {
+		if err := c.Put(ctx, fmt.Sprintf("key-%04d", i), []byte("v")); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// Put returns at the W quorum; the Nth replication may land after the
+	// call, so poll for the full census.
+	var total int
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		total = 0
+		for _, n := range h.nodes {
+			total += n.Store().C(nwr.RecordCollection).Len()
+		}
+		if total == records*3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if total != records*3 {
+		t.Fatalf("total replicas = %d, want %d (N=3)", total, records*3)
+	}
+	for i, n := range h.nodes {
+		if n.Store().C(nwr.RecordCollection).Len() == 0 {
+			t.Errorf("node %d holds no replicas", i)
+		}
+	}
+}
+
+func TestNodeJoinMigratesData(t *testing.T) {
+	h := newHarness(t, 4)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	const records = 150
+	for i := 0; i < records; i++ {
+		if err := c.Put(ctx, fmt.Sprintf("key-%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A fifth node joins; gossip spreads it; rebalance pushes its ranges.
+	h.addNode(4, []string{addr(0)})
+	h.converge(20)
+	newNode := h.nodes[4]
+	got := newNode.Store().C(nwr.RecordCollection).Len()
+	if got == 0 {
+		t.Fatal("joined node received no data")
+	}
+	// Every key must still be fully replicated N=3 times cluster-wide and
+	// readable.
+	for i := 0; i < records; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		copies := 0
+		for _, n := range h.nodes {
+			if _, found, _ := n.Coordinator().GetLocal(key); found {
+				copies++
+			}
+		}
+		if copies < 3 {
+			t.Fatalf("key %s has %d copies after join", key, copies)
+		}
+		if _, err := c.Get(ctx, key); err != nil {
+			t.Fatalf("Get(%s) after join: %v", key, err)
+		}
+	}
+}
+
+func TestLongFailureTriggersReReplication(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	const records = 100
+	for i := 0; i < records; i++ {
+		if err := c.Put(ctx, fmt.Sprintf("key-%04d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 4 breaks down for good.
+	h.eps[4].Close()
+	// Long failure confirmation (seed LongFailAfter = 10 intervals) plus
+	// spread plus rebalance.
+	h.converge(30)
+	for i := 0; i < 4; i++ {
+		if st := h.nodes[i].Gossiper().StatusOf(addr(4)); st != gossip.StatusLongFail {
+			t.Fatalf("node %d believes node 4 is %v", i, st)
+		}
+		if h.nodes[i].Ring().Contains(addr(4)) {
+			t.Fatalf("node %d still has node 4 in its ring", i)
+		}
+	}
+	// Replication factor restored among survivors.
+	for i := 0; i < records; i++ {
+		key := fmt.Sprintf("key-%04d", i)
+		copies := 0
+		for j := 0; j < 4; j++ {
+			if _, found, _ := h.nodes[j].Coordinator().GetLocal(key); found {
+				copies++
+			}
+		}
+		if copies < 3 {
+			t.Fatalf("key %s has %d live copies after re-replication", key, copies)
+		}
+	}
+}
+
+func TestShortFailureHintsAndWriteback(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	// Node 3 goes quiet briefly.
+	h.eps[3].Close()
+	h.converge(4) // enough for short-fail belief, not long-fail
+	const records = 60
+	for i := 0; i < records; i++ {
+		if err := c.Put(ctx, fmt.Sprintf("hkey-%04d", i), []byte("v")); err != nil {
+			t.Fatalf("Put with node down: %v", err)
+		}
+	}
+	hinted := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		hinted = 0
+		for _, n := range h.nodes {
+			hinted += n.Coordinator().HintCount()
+		}
+		if hinted > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if hinted == 0 {
+		t.Fatal("no hints parked while a replica was down")
+	}
+	// Node 3 recovers; ticks deliver the hints. Background hint parking
+	// from the quorum-returned puts may still be in flight, so converge
+	// and poll until every record is fully replicated.
+	h.eps[3].Reopen()
+	fullyReplicated := func() (int, int) {
+		remaining := 0
+		for _, n := range h.nodes {
+			remaining += n.Coordinator().HintCount()
+		}
+		short := 0
+		for i := 0; i < records; i++ {
+			key := fmt.Sprintf("hkey-%04d", i)
+			copies := 0
+			for _, n := range h.nodes {
+				if _, found, _ := n.Coordinator().GetLocal(key); found {
+					copies++
+				}
+			}
+			if copies < 3 {
+				short++
+			}
+		}
+		return remaining, short
+	}
+	var remaining, short int
+	recoveryDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(recoveryDeadline) {
+		h.converge(2)
+		if remaining, short = fullyReplicated(); remaining == 0 && short == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if remaining != 0 || short != 0 {
+		t.Fatalf("after recovery: %d hints undelivered, %d keys under-replicated", remaining, short)
+	}
+}
+
+func TestReadsSurviveSingleNodeLoss(t *testing.T) {
+	h := newHarness(t, 5)
+	h.converge(12)
+	c := h.client(t)
+	ctx := context.Background()
+	for i := 0; i < 50; i++ {
+		c.Put(ctx, fmt.Sprintf("rkey-%02d", i), []byte("v")) //nolint:errcheck
+	}
+	h.eps[2].Close()
+	h.converge(4)
+	for i := 0; i < 50; i++ {
+		if _, err := c.Get(ctx, fmt.Sprintf("rkey-%02d", i)); err != nil {
+			t.Fatalf("Get(%d) with a node down: %v", i, err)
+		}
+	}
+}
+
+func TestStatusDoc(t *testing.T) {
+	h := newHarness(t, 3)
+	h.converge(8)
+	c := h.client(t)
+	st, err := c.Status(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.StringOr("addr", "") == "" {
+		t.Fatalf("status missing addr: %s", st)
+	}
+	if v, ok := st.Get("ringSize"); !ok || v.(int64) != 3 {
+		t.Fatalf("ringSize = %v", v)
+	}
+}
+
+func TestUnknownMessage(t *testing.T) {
+	h := newHarness(t, 1)
+	_, err := h.nodes[0].handleMessage(context.Background(), transport.Message{Type: "nope"})
+	if err == nil {
+		t.Fatal("unknown message accepted")
+	}
+}
+
+func TestNodeCloseIdempotent(t *testing.T) {
+	h := newHarness(t, 1)
+	if err := h.nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.nodes[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+}

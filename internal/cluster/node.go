@@ -1,0 +1,340 @@
+// Package cluster assembles MyStore's storage module (paper §5): each Node
+// couples a local document store (the clustered MongoDB instance), an NWR
+// replication coordinator, a gossip endpoint and a transport into one
+// process. Nodes learn membership through gossip, maintain their own view
+// of the consistent-hash ring, migrate data when nodes join, re-replicate
+// when seeds confirm a long failure, and deliver parked hints when a
+// short-failed node returns.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/docstore"
+	"mystore/internal/gossip"
+	"mystore/internal/nwr"
+	"mystore/internal/ring"
+	"mystore/internal/transport"
+)
+
+// Message types a Node serves beyond the embedded nwr.* and gossip.* sets.
+const (
+	MsgVersion    = "node.version"
+	MsgPut        = "node.put"
+	MsgGet        = "node.get"
+	MsgDelete     = "node.delete"
+	MsgQuery      = "node.query"
+	MsgStatus     = "node.status"
+	MsgQueryLocal = "node.query.local"
+	MsgAggregate  = "node.aggregate"
+)
+
+// Version is the engine version string the Connect test queries, mirroring
+// the paper's use of MongoDB's getversion interface for connection testing.
+const Version = "mystore-1.0"
+
+// Config assembles a Node.
+type Config struct {
+	// Seeds are the seed node addresses (paper Fig 7). A node whose own
+	// address is listed acts as a seed.
+	Seeds []string
+	// Weight sizes this node's virtual-node count relative to others.
+	Weight int
+	// NWR is the replication configuration; the evaluation uses (3,2,1).
+	NWR nwr.Config
+	// StoreDir persists the local document store; empty means in-memory.
+	StoreDir string
+	// GossipInterval is the gossip tick period (default 1s).
+	GossipInterval time.Duration
+	// Now injects a clock for deterministic simulations.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
+	if c.GossipInterval <= 0 {
+		c.GossipInterval = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.NWR.Now == nil {
+		c.NWR.Now = c.Now
+	}
+	return c
+}
+
+// Node is one MyStore storage process.
+type Node struct {
+	cfg      Config
+	tr       transport.Transport
+	store    *docstore.Store
+	ring     *ring.Ring
+	gossiper *gossip.Gossiper
+	coord    *nwr.Coordinator
+
+	mu              sync.Mutex
+	closed          bool
+	rebalanceWanted bool
+	inRing          map[string]bool
+	tickCount       uint64
+}
+
+// NewNode builds and starts serving a node on tr. The node immediately
+// answers RPCs; call Tick (or RunLoop) to participate in gossip.
+func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	store, err := docstore.Open(docstore.Options{Dir: cfg.StoreDir})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		cfg:    cfg,
+		tr:     tr,
+		store:  store,
+		ring:   ring.New(),
+		inRing: map[string]bool{},
+	}
+	n.gossiper = gossip.New(tr, gossip.Config{
+		Seeds:    cfg.Seeds,
+		Interval: cfg.GossipInterval,
+		Now:      cfg.Now,
+		OnEvent:  n.onGossipEvent,
+	})
+	n.coord, err = nwr.NewCoordinator(cfg.NWR, tr.Addr(), n.ring, tr, store)
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	n.coord.Live = func(addr string) bool {
+		st := n.gossiper.StatusOf(addr)
+		return st == gossip.StatusUp || st == gossip.StatusUnknown
+	}
+	// Join the ring locally and announce capacity through gossip so peers
+	// add us with the right weight.
+	if err := n.addToRing(tr.Addr(), cfg.Weight); err != nil {
+		store.Close()
+		return nil, err
+	}
+	n.gossiper.SetLocal("weight", strconv.Itoa(cfg.Weight))
+	tr.SetHandler(n.handleMessage)
+	return n, nil
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() string { return n.tr.Addr() }
+
+// Store exposes the local document store (tests, tooling).
+func (n *Node) Store() *docstore.Store { return n.store }
+
+// Coordinator exposes the NWR coordinator (tests, stats).
+func (n *Node) Coordinator() *nwr.Coordinator { return n.coord }
+
+// Gossiper exposes the gossip endpoint (tests, stats).
+func (n *Node) Gossiper() *gossip.Gossiper { return n.gossiper }
+
+// Ring exposes this node's membership view.
+func (n *Node) Ring() *ring.Ring { return n.ring }
+
+func (n *Node) addToRing(addr string, weight int) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.inRing[addr] {
+		return nil
+	}
+	if err := n.ring.AddNode(ring.Node{ID: addr, Weight: weight}); err != nil && !errors.Is(err, ring.ErrNodeExists) {
+		return err
+	}
+	n.inRing[addr] = true
+	n.rebalanceWanted = true
+	return nil
+}
+
+func (n *Node) removeFromRing(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.inRing[addr] {
+		return
+	}
+	if err := n.ring.RemoveNode(addr); err == nil || errors.Is(err, ring.ErrNodeUnknown) {
+		delete(n.inRing, addr)
+		n.rebalanceWanted = true
+	}
+}
+
+// onGossipEvent reacts to believed status changes: long failures shrink the
+// ring and trigger re-replication; recoveries trigger hint writeback.
+func (n *Node) onGossipEvent(e gossip.Event) {
+	switch e.New {
+	case gossip.StatusLongFail:
+		n.removeFromRing(e.Addr)
+	case gossip.StatusUp:
+		if e.Old == gossip.StatusShortFail || e.Old == gossip.StatusLongFail {
+			// A returning node gets its parked writes back (Fig 8) and, if
+			// it was removed, rejoins the ring on the next sync.
+			go n.coord.DeliverHints(context.Background())
+		}
+	}
+}
+
+// Tick drives one round of background work: gossip, membership sync, hint
+// delivery, any pending rebalance, and (every tenth tick) an anti-entropy
+// round with a random peer.
+func (n *Node) Tick(ctx context.Context) {
+	n.gossiper.Tick(ctx)
+	n.syncMembership()
+	n.coord.DeliverHints(ctx)
+	n.mu.Lock()
+	wanted := n.rebalanceWanted
+	n.rebalanceWanted = false
+	n.tickCount++
+	aeDue := n.tickCount%10 == 0
+	compactDue := n.tickCount%600 == 0
+	n.mu.Unlock()
+	if wanted {
+		n.Rebalance(ctx)
+	}
+	if aeDue {
+		n.AntiEntropyRound(ctx)
+	}
+	if compactDue {
+		// Periodic snapshot compaction bounds WAL growth on persistent
+		// nodes (a no-op for in-memory stores).
+		n.store.Compact() //nolint:errcheck // best-effort; the WAL remains authoritative
+	}
+}
+
+// syncMembership folds gossip knowledge into the local ring view: every
+// non-long-failed endpoint that has announced a weight is a member.
+func (n *Node) syncMembership() {
+	for _, addr := range n.gossiper.Endpoints() {
+		st := n.gossiper.StatusOf(addr)
+		if st == gossip.StatusLongFail {
+			n.removeFromRing(addr)
+			continue
+		}
+		if w, ok := n.gossiper.Lookup(addr, "weight"); ok {
+			weight, err := strconv.Atoi(w)
+			if err != nil || weight <= 0 {
+				weight = 1
+			}
+			n.addToRing(addr, weight) //nolint:errcheck // best-effort; next tick retries
+		}
+	}
+}
+
+// RunLoop ticks until ctx is cancelled.
+func (n *Node) RunLoop(ctx context.Context) {
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			n.Tick(ctx)
+		}
+	}
+}
+
+// handleMessage is the node's transport mux.
+func (n *Node) handleMessage(ctx context.Context, msg transport.Message) (bson.D, error) {
+	switch {
+	case strings.HasPrefix(msg.Type, "gossip."):
+		return n.gossiper.HandleMessage(ctx, msg)
+	case strings.HasPrefix(msg.Type, "nwr."):
+		return n.coord.HandleMessage(ctx, msg)
+	}
+	switch msg.Type {
+	case MsgVersion:
+		return bson.D{{Key: "version", Value: Version}, {Key: "addr", Value: n.Addr()}}, nil
+	case MsgStatus:
+		return n.statusDoc(), nil
+	case MsgPut:
+		key := msg.Body.StringOr("self-key", "")
+		val, _ := msg.Body.Get("val")
+		b, ok := val.([]byte)
+		if key == "" || !ok {
+			return nil, errors.New("cluster: put requires self-key and binary val")
+		}
+		if err := n.coord.Put(ctx, key, b); err != nil {
+			return nil, err
+		}
+		return bson.D{{Key: "ok", Value: true}}, nil
+	case MsgGet:
+		key := msg.Body.StringOr("self-key", "")
+		val, err := n.coord.Get(ctx, key)
+		if errors.Is(err, nwr.ErrNotFound) {
+			return bson.D{{Key: "found", Value: false}}, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return bson.D{{Key: "found", Value: true}, {Key: "val", Value: val}}, nil
+	case MsgDelete:
+		key := msg.Body.StringOr("self-key", "")
+		if err := n.coord.Delete(ctx, key); err != nil {
+			return nil, err
+		}
+		return bson.D{{Key: "ok", Value: true}}, nil
+	case MsgQuery:
+		return n.handleQuery(ctx, msg.Body)
+	case MsgQueryLocal:
+		return n.handleQueryLocal(msg.Body)
+	case MsgAntiEntropy:
+		return n.handleAntiEntropy(msg.Body)
+	case MsgAggregate:
+		return n.handleAggregate(ctx, msg.Body)
+	default:
+		return nil, fmt.Errorf("cluster: unknown message type %q", msg.Type)
+	}
+}
+
+// statusDoc summarizes the node for monitoring.
+func (n *Node) statusDoc() bson.D {
+	st := n.store.Stats()
+	cs := n.coord.Stats()
+	live := n.gossiper.LiveEndpoints()
+	liveArr := make(bson.A, len(live))
+	for i, a := range live {
+		liveArr[i] = a
+	}
+	return bson.D{
+		{Key: "addr", Value: n.Addr()},
+		{Key: "records", Value: int64(n.store.C(nwr.RecordCollection).Len())},
+		{Key: "hints", Value: int64(n.coord.HintCount())},
+		{Key: "documents", Value: int64(st.Documents)},
+		{Key: "dataBytes", Value: st.DataBytes},
+		{Key: "puts", Value: cs.Puts},
+		{Key: "gets", Value: cs.Gets},
+		{Key: "ringSize", Value: int64(n.ring.Len())},
+		{Key: "live", Value: liveArr},
+		{Key: "isSeed", Value: n.gossiper.IsSeed()},
+	}
+}
+
+// Close stops serving and closes the local store.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	terr := n.tr.Close()
+	serr := n.store.Close()
+	if terr != nil {
+		return terr
+	}
+	return serr
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"context"
+
+	"mystore/internal/docstore"
+	"mystore/internal/nwr"
+)
+
+// Rebalance runs the paper's two data-movement duties on this node:
+//
+//   - Node addition (§5.2.4 "adding node"): records whose hash now falls in
+//     a new node's region are pushed there and removed here, "the mapping
+//     and migrating operation are executed by the next physical node on the
+//     ring" — which is exactly the node currently holding the data.
+//   - Node removal (Fig 9): for records this node still owns, any owner in
+//     the current replica set that lacks the record receives a copy, so the
+//     replication factor recovers after a departure.
+//
+// The scan is one pass over the local records collection against the
+// current ring view. It returns how many records were pushed and how many
+// were dropped locally.
+func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
+	coll := n.store.C(nwr.RecordCollection)
+	docs, err := coll.Find(docstore.Filter{}, docstore.FindOptions{})
+	if err != nil {
+		return 0, 0
+	}
+	self := n.Addr()
+	for _, doc := range docs {
+		rec, err := nwr.RecordFromDoc(doc)
+		if err != nil {
+			continue
+		}
+		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
+		if err != nil {
+			continue
+		}
+		selfOwns := false
+		for _, o := range owners {
+			if o == self {
+				selfOwns = true
+				break
+			}
+		}
+		if selfOwns {
+			// Ensure fellow owners hold the record (re-replication after a
+			// departure). Reads would repair lazily; this is the proactive
+			// path Fig 9 describes.
+			for _, o := range owners {
+				if o == self {
+					continue
+				}
+				if n.ensureReplica(ctx, o, rec) {
+					pushed++
+				}
+			}
+			continue
+		}
+		// The record now belongs elsewhere (a node joined). Push it to the
+		// owners that lack it, then drop the local copy.
+		delivered := false
+		for _, o := range owners {
+			if n.ensureReplica(ctx, o, rec) {
+				pushed++
+			}
+			if n.hasReplica(ctx, o, rec) {
+				delivered = true
+			}
+		}
+		if delivered {
+			if id, ok := doc.Get("_id"); ok {
+				if _, err := coll.Delete(id); err == nil {
+					dropped++
+				}
+			}
+		}
+	}
+	return pushed, dropped
+}
+
+// ensureReplica pushes rec to owner if the owner lacks it or holds an older
+// version. It reports whether a push happened and succeeded.
+func (n *Node) ensureReplica(ctx context.Context, owner string, rec nwr.Record) bool {
+	cur, found, err := n.coord.ReadReplicaFrom(ctx, owner, rec.Key)
+	if err != nil {
+		return false
+	}
+	if found && !rec.Newer(cur) {
+		return false // already current
+	}
+	return n.coord.WriteReplicaTo(ctx, owner, rec)
+}
+
+// hasReplica reports whether owner currently holds rec's key at rec's
+// version or newer.
+func (n *Node) hasReplica(ctx context.Context, owner string, rec nwr.Record) bool {
+	cur, found, err := n.coord.ReadReplicaFrom(ctx, owner, rec.Key)
+	if err != nil || !found {
+		return false
+	}
+	return !rec.Newer(cur)
+}

@@ -1,0 +1,148 @@
+// Package dispatch implements the paper's distribution module (§4): the
+// Nginx + spawn-fcgi analogue. Incoming requests are distributed
+// round-robin across a pool of logical worker processes, each of which
+// executes requests sequentially — modelling the Python logic processes the
+// paper runs behind spawn-fcgi. The pool bounds concurrency exactly the way
+// a fixed process count does, which is what produces the saturation plateau
+// in Figs 13-14.
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Request is one unit of work: a function executed on a logical worker.
+type Request func(ctx context.Context) error
+
+// Pool is a round-robin dispatcher over n logical workers.
+type Pool struct {
+	// closeMu guards the race between Do sending on a queue and Close
+	// closing it: Do holds it shared for the send, Close exclusively.
+	closeMu sync.RWMutex
+	closed  bool
+
+	queues []chan job
+	wg     sync.WaitGroup
+	next   atomic.Uint64
+	depth  int
+
+	dispatched atomic.Int64
+	completed  atomic.Int64
+	failed     atomic.Int64
+}
+
+type job struct {
+	ctx  context.Context
+	req  Request
+	done chan error
+}
+
+// ErrClosed is returned when dispatching to a closed pool.
+var ErrClosed = errors.New("dispatch: pool is closed")
+
+// ErrQueueFull is returned when a worker's queue cannot accept more work.
+var ErrQueueFull = errors.New("dispatch: worker queue full")
+
+// NewPool starts n logical workers, each with queueDepth waiting slots
+// (zero means 64).
+func NewPool(n, queueDepth int) *Pool {
+	if n <= 0 {
+		n = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	p := &Pool{depth: queueDepth}
+	for i := 0; i < n; i++ {
+		q := make(chan job, queueDepth)
+		p.queues = append(p.queues, q)
+		p.wg.Add(1)
+		go p.worker(q)
+	}
+	return p
+}
+
+func (p *Pool) worker(q chan job) {
+	defer p.wg.Done()
+	for j := range q {
+		var err error
+		select {
+		case <-j.ctx.Done():
+			err = j.ctx.Err()
+		default:
+			err = j.req(j.ctx)
+		}
+		if err != nil {
+			p.failed.Add(1)
+		}
+		p.completed.Add(1)
+		j.done <- err
+	}
+}
+
+// Do dispatches req to the next worker round-robin and waits for it to
+// complete. It returns the request's error, ErrClosed after Close, or
+// ErrQueueFull when the selected worker's backlog is full (the overload
+// signal a saturated fcgi pool gives).
+func (p *Pool) Do(ctx context.Context, req Request) error {
+	j := job{ctx: ctx, req: req, done: make(chan error, 1)}
+	p.closeMu.RLock()
+	if p.closed {
+		p.closeMu.RUnlock()
+		return ErrClosed
+	}
+	idx := int(p.next.Add(1)-1) % len(p.queues)
+	var enqueued bool
+	select {
+	case p.queues[idx] <- j:
+		enqueued = true
+		p.dispatched.Add(1)
+	default:
+	}
+	p.closeMu.RUnlock()
+	if !enqueued {
+		return ErrQueueFull
+	}
+	select {
+	case err := <-j.done:
+		return err
+	case <-ctx.Done():
+		// The worker will still run the job; the caller stops waiting.
+		return ctx.Err()
+	}
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.queues) }
+
+// Stats reports dispatch counters.
+type Stats struct {
+	Dispatched, Completed, Failed int64
+}
+
+// Stats returns a snapshot.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Dispatched: p.dispatched.Load(),
+		Completed:  p.completed.Load(),
+		Failed:     p.failed.Load(),
+	}
+}
+
+// Close drains and stops the workers. Pending jobs complete.
+func (p *Pool) Close() {
+	p.closeMu.Lock()
+	if p.closed {
+		p.closeMu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.closeMu.Unlock()
+	p.wg.Wait()
+}

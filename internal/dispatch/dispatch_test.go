@@ -1,0 +1,169 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoRunsRequests(t *testing.T) {
+	p := NewPool(4, 64) // capacity must absorb all 100 concurrent submissions
+	defer p.Close()
+	var count atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := p.Do(context.Background(), func(context.Context) error {
+				count.Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if count.Load() != 100 {
+		t.Fatalf("ran %d requests, want 100", count.Load())
+	}
+	st := p.Stats()
+	if st.Dispatched != 100 || st.Completed != 100 || st.Failed != 0 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestDoPropagatesErrors(t *testing.T) {
+	p := NewPool(2, 8)
+	defer p.Close()
+	boom := errors.New("boom")
+	if err := p.Do(context.Background(), func(context.Context) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if p.Stats().Failed != 1 {
+		t.Fatalf("Failed = %d", p.Stats().Failed)
+	}
+}
+
+func TestRoundRobinSpreadsLoad(t *testing.T) {
+	p := NewPool(4, 64)
+	defer p.Close()
+	// Sequential submissions land on successive workers; with 8
+	// submissions each of 4 workers runs exactly 2.
+	var mu sync.Mutex
+	perWorker := map[int]int{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		idx := i % 4
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+				mu.Lock()
+				perWorker[idx]++
+				mu.Unlock()
+				return nil
+			})
+		}()
+		wg.Wait() // serialize to make round-robin deterministic
+		wg = sync.WaitGroup{}
+	}
+	if len(perWorker) != 4 {
+		t.Fatalf("work landed on %d distinct workers, want 4", len(perWorker))
+	}
+}
+
+func TestWorkersBoundConcurrency(t *testing.T) {
+	p := NewPool(2, 64)
+	defer p.Close()
+	var inFlight, maxSeen atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+				cur := inFlight.Add(1)
+				for {
+					prev := maxSeen.Load()
+					if cur <= prev || maxSeen.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+				inFlight.Add(-1)
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := maxSeen.Load(); got > 2 {
+		t.Fatalf("max concurrent executions = %d, want <= 2 workers", got)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	// Fill the single queue slot.
+	go p.Do(context.Background(), func(context.Context) error { return nil }) //nolint:errcheck
+	time.Sleep(10 * time.Millisecond)
+	// Now the queue is full: an immediate ErrQueueFull.
+	err := p.Do(context.Background(), func(context.Context) error { return nil })
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+func TestDoAfterClose(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	p.Close() // idempotent
+}
+
+func TestContextCancellation(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	block := make(chan struct{})
+	defer close(block)
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	err := p.Do(ctx, func(context.Context) error { return nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := NewPool(0, 0)
+	defer p.Close()
+	if p.Workers() != 1 {
+		t.Fatalf("Workers = %d, want 1", p.Workers())
+	}
+	if err := p.Do(context.Background(), func(context.Context) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

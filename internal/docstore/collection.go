@@ -1,0 +1,531 @@
+package docstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mystore/internal/bson"
+	"mystore/internal/btree"
+	"mystore/internal/uuid"
+)
+
+// Collection is a named set of documents with a primary _id index and
+// optional secondary indexes.
+type Collection struct {
+	// mu guards the in-memory structures. Mutations additionally serialize
+	// through the store's writeMu, so at most one writer exists at a time.
+	mu        sync.RWMutex
+	store     *Store
+	name      string
+	primary   *btree.Tree // idKey -> bson.D
+	indexes   map[string]*fieldIndex
+	dataBytes int64
+}
+
+func newCollection(s *Store, name string) *Collection {
+	return &Collection{
+		store:   s,
+		name:    name,
+		primary: btree.New(),
+		indexes: make(map[string]*fieldIndex),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.primary.Len()
+}
+
+// DataBytes returns the approximate encoded size of all documents.
+func (c *Collection) DataBytes() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dataBytes
+}
+
+// Insert stores a new document. A missing _id is assigned a fresh ObjectId.
+// The (possibly augmented) document's id is returned. The document is cloned
+// before insertion, so the caller may reuse it.
+func (c *Collection) Insert(doc bson.D) (any, error) {
+	doc = doc.Clone()
+	id, ok := doc.Get("_id")
+	if !ok {
+		id = uuid.NewObjectId()
+		// Prepend _id, matching MongoDB's canonical layout.
+		doc = append(bson.D{{Key: "_id", Value: id}}, doc...)
+	}
+	if err := c.store.mutate(Op{Kind: "insert", Coll: c.name, Doc: doc}); err != nil {
+		return nil, err
+	}
+	return id, nil
+}
+
+// Update replaces the document whose _id matches doc's _id. The document
+// must already exist.
+func (c *Collection) Update(doc bson.D) error {
+	if !doc.Has("_id") {
+		return fmt.Errorf("%w: update requires _id", ErrBadId)
+	}
+	return c.store.mutate(Op{Kind: "update", Coll: c.name, Doc: doc.Clone()})
+}
+
+// Upsert inserts doc if its _id is unknown and replaces the stored document
+// otherwise. A missing _id always inserts.
+func (c *Collection) Upsert(doc bson.D) (any, error) {
+	id, ok := doc.Get("_id")
+	if !ok {
+		return c.Insert(doc)
+	}
+	key, err := idKey(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	_, exists := c.primary.Get(key)
+	c.mu.RUnlock()
+	if exists {
+		return id, c.Update(doc)
+	}
+	return c.Insert(doc)
+}
+
+// Delete removes the document with the given id, reporting whether it
+// existed.
+func (c *Collection) Delete(id any) (bool, error) {
+	key, err := idKey(id)
+	if err != nil {
+		return false, err
+	}
+	c.mu.RLock()
+	_, exists := c.primary.Get(key)
+	c.mu.RUnlock()
+	if !exists {
+		return false, nil
+	}
+	if err := c.store.mutate(Op{Kind: "delete", Coll: c.name, Id: id}); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Get returns the document with the given primary key.
+func (c *Collection) Get(id any) (bson.D, bool) {
+	key, err := idKey(id)
+	if err != nil {
+		return nil, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.primary.Get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.(bson.D).Clone(), true
+}
+
+// EnsureIndex creates a secondary index over the given field path if one
+// does not exist, indexing current documents. Unique indexes fail if
+// existing documents already collide.
+func (c *Collection) EnsureIndex(field string, unique bool) error {
+	c.mu.RLock()
+	_, exists := c.indexes[field]
+	c.mu.RUnlock()
+	if exists {
+		return nil
+	}
+	if unique {
+		// Pre-validate against current contents to keep the WAL clean.
+		seen := map[string]bool{}
+		var dup bool
+		c.mu.RLock()
+		c.primary.Ascend(func(it btree.Item) bool {
+			v, ok := lookupPath(it.Value.(bson.D), field)
+			if !ok {
+				return true
+			}
+			k := string(EncodeKey(v))
+			if seen[k] {
+				dup = true
+				return false
+			}
+			seen[k] = true
+			return true
+		})
+		c.mu.RUnlock()
+		if dup {
+			return fmt.Errorf("%w: existing documents collide on %q", ErrDuplicate, field)
+		}
+	}
+	return c.store.mutate(Op{Kind: "index", Coll: c.name, Field: field, Unique: unique})
+}
+
+// Indexes lists the indexed field paths.
+func (c *Collection) Indexes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.indexes))
+	for f := range c.indexes {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Distinct returns the distinct values of field among documents matching
+// filter, in the canonical value order. Documents missing the field are
+// skipped.
+func (c *Collection) Distinct(field string, filter Filter) ([]any, error) {
+	docs, err := c.Find(filter, FindOptions{})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]any{}
+	for _, doc := range docs {
+		v, ok := lookupPath(doc, field)
+		if !ok {
+			continue
+		}
+		seen[string(EncodeKey(v))] = v
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // EncodeKey is order-preserving, so this is value order
+	out := make([]any, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out, nil
+}
+
+// FindOne returns the first document matching filter, in unspecified order.
+func (c *Collection) FindOne(filter Filter) (bson.D, bool, error) {
+	docs, err := c.Find(filter, FindOptions{Limit: 1})
+	if err != nil {
+		return nil, false, err
+	}
+	if len(docs) == 0 {
+		return nil, false, nil
+	}
+	return docs[0], true, nil
+}
+
+// Count returns the number of documents matching filter.
+func (c *Collection) Count(filter Filter) (int, error) {
+	if len(filter) == 0 {
+		return c.Len(), nil
+	}
+	docs, err := c.Find(filter, FindOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return len(docs), nil
+}
+
+// Find returns the documents matching filter, shaped by opts. Returned
+// documents are deep copies; callers may mutate them freely.
+func (c *Collection) Find(filter Filter, opts FindOptions) ([]bson.D, error) {
+	c.mu.RLock()
+	candidates, usedIndex, err := c.planLocked(filter)
+	if err != nil {
+		c.mu.RUnlock()
+		return nil, err
+	}
+	var out []bson.D
+	verify := func(doc bson.D) error {
+		m, err := Match(doc, filter)
+		if err != nil {
+			return err
+		}
+		if m {
+			out = append(out, doc.Clone())
+		}
+		return nil
+	}
+	if candidates != nil {
+		for _, idk := range candidates {
+			if v, ok := c.primary.Get([]byte(idk)); ok {
+				if err := verify(v.(bson.D)); err != nil {
+					c.mu.RUnlock()
+					return nil, err
+				}
+			}
+		}
+	} else {
+		// Full scan, unless we can short-circuit: an unsorted, unfiltered
+		// window query stops after skip+limit documents.
+		budget := -1
+		if len(filter) == 0 && len(opts.Sort) == 0 && opts.Limit > 0 {
+			budget = opts.Skip + opts.Limit
+		}
+		var scanErr error
+		c.primary.Ascend(func(it btree.Item) bool {
+			if scanErr = verify(it.Value.(bson.D)); scanErr != nil {
+				return false
+			}
+			return budget < 0 || len(out) < budget
+		})
+		if scanErr != nil {
+			c.mu.RUnlock()
+			return nil, scanErr
+		}
+	}
+	c.mu.RUnlock()
+
+	c.store.mu.Lock()
+	if usedIndex {
+		c.store.statIndexHit++
+	} else {
+		c.store.statScans++
+	}
+	c.store.mu.Unlock()
+
+	sortDocs(out, opts.Sort)
+	out = applyWindow(out, opts.Skip, opts.Limit)
+	if len(opts.Projection) > 0 {
+		for i, d := range out {
+			out[i] = project(d, opts.Projection)
+		}
+	}
+	return out, nil
+}
+
+// planLocked inspects filter for a predicate servable by an index. It
+// returns (candidateIdKeys, true, nil) when an index narrowed the search, or
+// (nil, false, nil) to request a full scan. Caller holds mu.
+func (c *Collection) planLocked(filter Filter) ([]string, bool, error) {
+	for _, e := range filter {
+		if e.Key == "_id" {
+			// Primary key predicates hit the primary tree directly.
+			if ids, ok := c.planPrimaryLocked(e.Value); ok {
+				return ids, true, nil
+			}
+			continue
+		}
+		ix, ok := c.indexes[e.Key]
+		if !ok {
+			continue
+		}
+		if ids, ok := planIndexPredicate(ix, e.Value); ok {
+			return ids, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (c *Collection) planPrimaryLocked(operand any) ([]string, bool) {
+	resolve := func(v any) ([]string, bool) {
+		key, err := idKey(v)
+		if err != nil {
+			return nil, false
+		}
+		if _, ok := c.primary.Get(key); ok {
+			return []string{string(key)}, true
+		}
+		return nil, true // definitively empty
+	}
+	if ops, isDoc := operand.(bson.D); isDoc && isOperatorDoc(ops) {
+		if eq, ok := ops.Get("$eq"); ok && len(ops) == 1 {
+			return resolve(eq)
+		}
+		if in, ok := ops.Get("$in"); ok && len(ops) == 1 {
+			arr, isArr := in.(bson.A)
+			if !isArr {
+				return nil, false
+			}
+			var out []string
+			for _, v := range arr {
+				ids, ok := resolve(v)
+				if !ok {
+					return nil, false
+				}
+				out = append(out, ids...)
+			}
+			return out, true
+		}
+		return nil, false
+	}
+	return resolve(operand)
+}
+
+// planIndexPredicate maps one filter element onto an index lookup.
+func planIndexPredicate(ix *fieldIndex, operand any) ([]string, bool) {
+	ops, isDoc := operand.(bson.D)
+	if !isDoc || !isOperatorDoc(ops) {
+		// Implicit equality on an embedded-document operand still works:
+		// the index stores whole-value encodings.
+		return ix.lookupEq(operand), true
+	}
+	if eq, ok := ops.Get("$eq"); ok && len(ops) == 1 {
+		return ix.lookupEq(eq), true
+	}
+	if in, ok := ops.Get("$in"); ok && len(ops) == 1 {
+		arr, isArr := in.(bson.A)
+		if !isArr {
+			return nil, false
+		}
+		var out []string
+		for _, v := range arr {
+			out = append(out, ix.lookupEq(v)...)
+		}
+		return out, true
+	}
+	// Range predicates: combine any of $gt/$gte (lower) and $lt/$lte (upper).
+	var lo, hi any
+	hiIncl := false
+	supported := true
+	for _, op := range ops {
+		switch op.Key {
+		case "$gt", "$gte":
+			lo = op.Value
+		case "$lt":
+			hi = op.Value
+		case "$lte":
+			hi, hiIncl = op.Value, true
+		default:
+			supported = false
+		}
+	}
+	if !supported || (lo == nil && hi == nil) {
+		return nil, false
+	}
+	return ix.lookupRange(lo, hi, hiIncl), true
+}
+
+// --- internal apply/check operations (called with store.writeMu held) ---
+
+func (c *Collection) checkInsert(doc bson.D) error {
+	id, ok := doc.Get("_id")
+	if !ok {
+		return fmt.Errorf("%w: insert op missing _id", ErrBadId)
+	}
+	key, err := idKey(id)
+	if err != nil {
+		return err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, exists := c.primary.Get(key); exists {
+		return fmt.Errorf("%w: _id %v", ErrDuplicate, id)
+	}
+	for _, ix := range c.indexes {
+		if ix.wouldViolate(string(key), doc) {
+			return fmt.Errorf("%w: unique index on %q", ErrDuplicate, ix.field)
+		}
+	}
+	return nil
+}
+
+func (c *Collection) applyInsert(doc bson.D) error {
+	id, _ := doc.Get("_id")
+	key, err := idKey(id)
+	if err != nil {
+		return err
+	}
+	enc, err := bson.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.primary.Get(key); exists {
+		return fmt.Errorf("%w: _id %v", ErrDuplicate, id)
+	}
+	c.primary.Set(key, doc)
+	for _, ix := range c.indexes {
+		ix.insert(string(key), doc)
+	}
+	c.dataBytes += int64(len(enc))
+	return nil
+}
+
+func (c *Collection) checkUpdate(doc bson.D) error {
+	id, ok := doc.Get("_id")
+	if !ok {
+		return fmt.Errorf("%w: update op missing _id", ErrBadId)
+	}
+	key, err := idKey(id)
+	if err != nil {
+		return err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if _, exists := c.primary.Get(key); !exists {
+		return fmt.Errorf("%w: _id %v", ErrNotFound, id)
+	}
+	for _, ix := range c.indexes {
+		if ix.wouldViolate(string(key), doc) {
+			return fmt.Errorf("%w: unique index on %q", ErrDuplicate, ix.field)
+		}
+	}
+	return nil
+}
+
+func (c *Collection) applyUpdate(doc bson.D) error {
+	id, _ := doc.Get("_id")
+	key, err := idKey(id)
+	if err != nil {
+		return err
+	}
+	enc, err := bson.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, exists := c.primary.Get(key)
+	if !exists {
+		return fmt.Errorf("%w: _id %v", ErrNotFound, id)
+	}
+	oldDoc := old.(bson.D)
+	oldEnc, _ := bson.Marshal(oldDoc)
+	for _, ix := range c.indexes {
+		ix.remove(string(key), oldDoc)
+		ix.insert(string(key), doc)
+	}
+	c.primary.Set(key, doc)
+	c.dataBytes += int64(len(enc)) - int64(len(oldEnc))
+	return nil
+}
+
+func (c *Collection) applyDelete(id any) error {
+	key, err := idKey(id)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, exists := c.primary.Get(key)
+	if !exists {
+		return nil // deleting an absent document is a no-op on replay
+	}
+	oldDoc := old.(bson.D)
+	oldEnc, _ := bson.Marshal(oldDoc)
+	for _, ix := range c.indexes {
+		ix.remove(string(key), oldDoc)
+	}
+	c.primary.Delete(key)
+	c.dataBytes -= int64(len(oldEnc))
+	return nil
+}
+
+func (c *Collection) applyEnsureIndex(field string, unique bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.indexes[field]; exists {
+		return nil
+	}
+	ix := newFieldIndex(field, unique)
+	c.primary.Ascend(func(it btree.Item) bool {
+		ix.insert(string(it.Key), it.Value.(bson.D))
+		return true
+	})
+	c.indexes[field] = ix
+	return nil
+}

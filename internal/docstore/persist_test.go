@@ -1,0 +1,202 @@
+package docstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mystore/internal/bson"
+	"mystore/internal/wal"
+)
+
+func diskStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s, err := Open(Options{Dir: dir, WAL: wal.Options{SegmentSize: 4096}})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	c := s.C("records")
+	c.EnsureIndex("self-key", false) //nolint:errcheck
+	for i := 0; i < 50; i++ {
+		if _, err := c.Insert(record(fmt.Sprintf("k%02d", i), 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete some, update some.
+	docs, _ := c.Find(Filter{{Key: "self-key", Value: "k10"}}, FindOptions{})
+	id, _ := docs[0].Get("_id")
+	c.Delete(id) //nolint:errcheck
+	docs, _ = c.Find(Filter{{Key: "self-key", Value: "k20"}}, FindOptions{})
+	c.Update(docs[0].Set("isDel", "1")) //nolint:errcheck
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := diskStore(t, dir)
+	defer s2.Close()
+	c2 := s2.C("records")
+	if c2.Len() != 49 {
+		t.Fatalf("Len after reopen = %d, want 49", c2.Len())
+	}
+	// Index definitions are recovered and functional.
+	got, err := c2.Find(Filter{{Key: "self-key", Value: "k20"}}, FindOptions{})
+	if err != nil || len(got) != 1 {
+		t.Fatalf("indexed query after reopen: %d docs, err %v", len(got), err)
+	}
+	if got[0].StringOr("isDel", "") != "1" {
+		t.Fatal("update lost across reopen")
+	}
+	if s2.Stats().IndexHits == 0 {
+		t.Error("recovered index was not used")
+	}
+	if got, _ := c2.Find(Filter{{Key: "self-key", Value: "k10"}}, FindOptions{}); len(got) != 0 {
+		t.Fatal("deleted document resurrected on reopen")
+	}
+}
+
+func TestCompactAndRecoverFromSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	c := s.C("records")
+	c.EnsureIndex("self-key", true) //nolint:errcheck
+	for i := 0; i < 100; i++ {
+		c.Insert(record(fmt.Sprintf("k%03d", i), 128)) //nolint:errcheck
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFile)); err != nil {
+		t.Fatalf("snapshot file missing: %v", err)
+	}
+	// Write more after the snapshot so recovery = snapshot + WAL tail.
+	for i := 100; i < 120; i++ {
+		c.Insert(record(fmt.Sprintf("k%03d", i), 128)) //nolint:errcheck
+	}
+	s.Close()
+
+	s2 := diskStore(t, dir)
+	defer s2.Close()
+	c2 := s2.C("records")
+	if c2.Len() != 120 {
+		t.Fatalf("Len after snapshot recovery = %d, want 120", c2.Len())
+	}
+	// Unique index survived the snapshot.
+	if _, err := c2.Insert(record("k050", 8)); err == nil {
+		t.Fatal("unique index lost through snapshot")
+	}
+	if got, _ := c2.Find(Filter{{Key: "self-key", Value: "k115"}}, FindOptions{}); len(got) != 1 {
+		t.Fatal("post-snapshot WAL tail not replayed")
+	}
+}
+
+func TestCompactTruncatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	c := s.C("records")
+	for i := 0; i < 300; i++ {
+		c.Insert(record(fmt.Sprintf("k%03d", i), 256)) //nolint:errcheck
+	}
+	segsBefore, _ := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, _ := filepath.Glob(filepath.Join(dir, "wal", "wal-*.seg"))
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("Compact kept %d of %d segments", len(segsAfter), len(segsBefore))
+	}
+	s.Close()
+	// Everything still recovers.
+	s2 := diskStore(t, dir)
+	defer s2.Close()
+	if got := s2.C("records").Len(); got != 300 {
+		t.Fatalf("Len after compacted recovery = %d, want 300", got)
+	}
+}
+
+func TestCompactInMemoryIsNoop(t *testing.T) {
+	s := memStore(t)
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact on memory store: %v", err)
+	}
+}
+
+func TestRejectedOpsNotPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	c := s.C("records")
+	c.Insert(record("a", 8).Set("_id", "k")) //nolint:errcheck
+	// This duplicate is rejected and must not pollute the WAL.
+	if _, err := c.Insert(record("b", 8).Set("_id", "k")); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	s.Close()
+	s2 := diskStore(t, dir)
+	defer s2.Close()
+	got, _ := s2.C("records").Get("k")
+	if got.StringOr("self-key", "") != "a" {
+		t.Fatalf("rejected op replayed: %s", got)
+	}
+}
+
+func TestDropCollectionPersists(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	s.C("gone").Insert(record("x", 8))  //nolint:errcheck
+	s.C("stays").Insert(record("y", 8)) //nolint:errcheck
+	s.DropCollection("gone")            //nolint:errcheck
+	s.Close()
+	s2 := diskStore(t, dir)
+	defer s2.Close()
+	if s2.C("gone").Len() != 0 {
+		t.Fatal("dropped collection resurrected")
+	}
+	if s2.C("stays").Len() != 1 {
+		t.Fatal("surviving collection lost")
+	}
+}
+
+func TestSnapshotHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+	// Write garbage where the snapshot should be.
+	if err := os.WriteFile(filepath.Join(dir, snapshotFile), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Fatal("Open accepted corrupt snapshot")
+	}
+}
+
+func TestLargeDocumentPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := diskStore(t, dir)
+	// A multi-megabyte video record, as VeePalms stores.
+	big := make([]byte, 3<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if _, err := s.C("videos").Insert(bson.D{
+		{Key: "_id", Value: "video-1"},
+		{Key: "self-key", Value: "guideline-video"},
+		{Key: "val", Value: big},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2 := diskStore(t, dir)
+	defer s2.Close()
+	got, ok := s2.C("videos").Get("video-1")
+	if !ok {
+		t.Fatal("large document lost")
+	}
+	val, _ := got.Get("val")
+	if len(val.([]byte)) != len(big) {
+		t.Fatalf("large value truncated: %d bytes", len(val.([]byte)))
+	}
+}

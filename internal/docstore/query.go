@@ -1,0 +1,314 @@
+package docstore
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"mystore/internal/bson"
+)
+
+// The query engine. Filters use the MongoDB shell dialect the paper's
+// "complex query functions" refer to: a filter document whose elements are
+// either `field: value` equality matches, `field: {$op: operand}` operator
+// matches, or the logical combinators `$and`, `$or`, `$not` / `$nor`.
+//
+// Supported operators: $eq, $ne, $gt, $gte, $lt, $lte, $in, $nin, $exists,
+// $regex, $size. Dotted field paths descend into embedded documents.
+
+// Filter is a query filter document.
+type Filter = bson.D
+
+// Match reports whether doc satisfies filter. A nil/empty filter matches
+// every document. It returns an error for malformed filters (unknown
+// operators, non-array $in operands, invalid $regex patterns).
+func Match(doc bson.D, filter Filter) (bool, error) {
+	for _, e := range filter {
+		ok, err := matchElement(doc, e)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func matchElement(doc bson.D, e bson.E) (bool, error) {
+	switch e.Key {
+	case "$and":
+		arr, ok := e.Value.(bson.A)
+		if !ok {
+			return false, fmt.Errorf("%w: $and requires an array", ErrBadFilter)
+		}
+		for _, sub := range arr {
+			f, ok := sub.(bson.D)
+			if !ok {
+				return false, fmt.Errorf("%w: $and elements must be documents", ErrBadFilter)
+			}
+			m, err := Match(doc, f)
+			if err != nil || !m {
+				return m, err
+			}
+		}
+		return true, nil
+	case "$or":
+		arr, ok := e.Value.(bson.A)
+		if !ok {
+			return false, fmt.Errorf("%w: $or requires an array", ErrBadFilter)
+		}
+		for _, sub := range arr {
+			f, ok := sub.(bson.D)
+			if !ok {
+				return false, fmt.Errorf("%w: $or elements must be documents", ErrBadFilter)
+			}
+			m, err := Match(doc, f)
+			if err != nil {
+				return false, err
+			}
+			if m {
+				return true, nil
+			}
+		}
+		return false, nil
+	case "$nor":
+		m, err := matchElement(doc, bson.E{Key: "$or", Value: e.Value})
+		if err != nil {
+			return false, err
+		}
+		return !m, nil
+	}
+	if strings.HasPrefix(e.Key, "$") {
+		return false, fmt.Errorf("%w: unknown top-level operator %q", ErrBadFilter, e.Key)
+	}
+
+	val, present := lookupPath(doc, e.Key)
+	if ops, ok := e.Value.(bson.D); ok && isOperatorDoc(ops) {
+		return matchOperators(val, present, ops)
+	}
+	// Implicit equality.
+	return present && Compare(val, e.Value) == 0, nil
+}
+
+// isOperatorDoc reports whether every key of d starts with '$'. A plain
+// embedded document used as an equality operand has no $-keys.
+func isOperatorDoc(d bson.D) bool {
+	if len(d) == 0 {
+		return false
+	}
+	for _, e := range d {
+		if !strings.HasPrefix(e.Key, "$") {
+			return false
+		}
+	}
+	return true
+}
+
+func matchOperators(val any, present bool, ops bson.D) (bool, error) {
+	for _, op := range ops {
+		ok, err := matchOperator(val, present, op.Key, op.Value)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func matchOperator(val any, present bool, op string, operand any) (bool, error) {
+	switch op {
+	case "$eq":
+		return present && Compare(val, operand) == 0, nil
+	case "$ne":
+		return !present || Compare(val, operand) != 0, nil
+	case "$gt", "$gte", "$lt", "$lte":
+		if !present || typeRank(val) != typeRank(operand) {
+			return false, nil
+		}
+		c := Compare(val, operand)
+		switch op {
+		case "$gt":
+			return c > 0, nil
+		case "$gte":
+			return c >= 0, nil
+		case "$lt":
+			return c < 0, nil
+		default:
+			return c <= 0, nil
+		}
+	case "$in", "$nin":
+		arr, ok := operand.(bson.A)
+		if !ok {
+			return false, fmt.Errorf("%w: %s requires an array", ErrBadFilter, op)
+		}
+		found := false
+		if present {
+			for _, candidate := range arr {
+				if Compare(val, candidate) == 0 {
+					found = true
+					break
+				}
+			}
+		}
+		if op == "$in" {
+			return found, nil
+		}
+		return !found, nil
+	case "$exists":
+		want, ok := operand.(bool)
+		if !ok {
+			return false, fmt.Errorf("%w: $exists requires a bool", ErrBadFilter)
+		}
+		return present == want, nil
+	case "$regex":
+		pattern, ok := operand.(string)
+		if !ok {
+			return false, fmt.Errorf("%w: $regex requires a string pattern", ErrBadFilter)
+		}
+		re, err := compileRegex(pattern)
+		if err != nil {
+			return false, fmt.Errorf("%w: bad $regex %q: %v", ErrBadFilter, pattern, err)
+		}
+		s, isStr := val.(string)
+		return present && isStr && re.MatchString(s), nil
+	case "$size":
+		n, ok := numeric(operand)
+		if !ok {
+			return false, fmt.Errorf("%w: $size requires a number", ErrBadFilter)
+		}
+		arr, isArr := val.(bson.A)
+		return present && isArr && float64(len(arr)) == n, nil
+	case "$not":
+		sub, ok := operand.(bson.D)
+		if !ok {
+			return false, fmt.Errorf("%w: $not requires an operator document", ErrBadFilter)
+		}
+		m, err := matchOperators(val, present, sub)
+		if err != nil {
+			return false, err
+		}
+		return !m, nil
+	default:
+		return false, fmt.Errorf("%w: unknown operator %q", ErrBadFilter, op)
+	}
+}
+
+// regexCache avoids recompiling patterns on every document of a scan.
+var regexCache = newRegexCache(256)
+
+func compileRegex(pattern string) (*regexp.Regexp, error) {
+	return regexCache.get(pattern)
+}
+
+// lookupPath resolves a possibly dotted field path against a document.
+func lookupPath(doc bson.D, path string) (any, bool) {
+	cur := any(doc)
+	for {
+		dot := strings.IndexByte(path, '.')
+		head := path
+		if dot >= 0 {
+			head = path[:dot]
+		}
+		d, ok := cur.(bson.D)
+		if !ok {
+			return nil, false
+		}
+		v, ok := d.Get(head)
+		if !ok {
+			return nil, false
+		}
+		if dot < 0 {
+			return v, true
+		}
+		cur = v
+		path = path[dot+1:]
+	}
+}
+
+// SortField names a field and direction for result ordering.
+type SortField struct {
+	Field string
+	Desc  bool
+}
+
+// FindOptions shape a query's results.
+type FindOptions struct {
+	Sort       []SortField
+	Skip       int
+	Limit      int      // 0 means no limit
+	Projection []string // empty means all fields; _id is always included
+}
+
+// SortDocuments orders docs in place by the given sort specification. It is
+// exported for layers that merge documents from several stores (the
+// cluster's scatter-gather query path) and need identical ordering rules.
+func SortDocuments(docs []bson.D, fields []SortField) {
+	sortDocs(docs, fields)
+}
+
+// WindowDocuments applies skip and limit to a merged result slice with the
+// same semantics Find uses.
+func WindowDocuments(docs []bson.D, skip, limit int) []bson.D {
+	return applyWindow(docs, skip, limit)
+}
+
+// sortDocs orders docs in place by the given sort specification.
+func sortDocs(docs []bson.D, fields []SortField) {
+	if len(fields) == 0 {
+		return
+	}
+	sort.SliceStable(docs, func(i, j int) bool {
+		for _, f := range fields {
+			vi, _ := lookupPath(docs[i], f.Field)
+			vj, _ := lookupPath(docs[j], f.Field)
+			c := Compare(vi, vj)
+			if c == 0 {
+				continue
+			}
+			if f.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// applyWindow applies skip and limit to a result slice.
+func applyWindow(docs []bson.D, skip, limit int) []bson.D {
+	if skip > 0 {
+		if skip >= len(docs) {
+			return nil
+		}
+		docs = docs[skip:]
+	}
+	if limit > 0 && limit < len(docs) {
+		docs = docs[:limit]
+	}
+	return docs
+}
+
+// project returns a copy of doc containing only the requested fields (plus
+// _id, which is always kept, matching MongoDB's default).
+func project(doc bson.D, fields []string) bson.D {
+	if len(fields) == 0 {
+		return doc
+	}
+	out := bson.D{}
+	if id, ok := doc.Get("_id"); ok {
+		out = append(out, bson.E{Key: "_id", Value: id})
+	}
+	for _, f := range fields {
+		if f == "_id" {
+			continue
+		}
+		if v, ok := doc.Get(f); ok {
+			out = append(out, bson.E{Key: f, Value: v})
+		}
+	}
+	return out
+}

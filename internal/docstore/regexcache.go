@@ -1,0 +1,60 @@
+package docstore
+
+import (
+	"container/list"
+	"regexp"
+	"sync"
+)
+
+// regexLRU is a small LRU cache of compiled regular expressions so that a
+// $regex scan compiles its pattern once, not once per document.
+type regexLRU struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *regexEntry
+	entries  map[string]*list.Element
+}
+
+type regexEntry struct {
+	pattern string
+	re      *regexp.Regexp
+}
+
+func newRegexCache(capacity int) *regexLRU {
+	return &regexLRU{
+		capacity: capacity,
+		order:    list.New(),
+		entries:  make(map[string]*list.Element),
+	}
+}
+
+func (c *regexLRU) get(pattern string) (*regexp.Regexp, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[pattern]; ok {
+		c.order.MoveToFront(el)
+		re := el.Value.(*regexEntry).re
+		c.mu.Unlock()
+		return re, nil
+	}
+	c.mu.Unlock()
+
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[pattern]; ok { // raced with another compiler
+		c.order.MoveToFront(el)
+		return el.Value.(*regexEntry).re, nil
+	}
+	el := c.order.PushFront(&regexEntry{pattern: pattern, re: re})
+	c.entries[pattern] = el
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*regexEntry).pattern)
+	}
+	return re, nil
+}

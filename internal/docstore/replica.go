@@ -1,0 +1,151 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"mystore/internal/bson"
+)
+
+// ReplicaSet implements the "simple master/slave mechanism" the paper
+// attributes to stock MongoDB and uses as the clustered baseline ("MongoDB
+// is configured to be master-slave mode using three physical nodes",
+// Fig 17). All writes go to the single master; the master's op stream is
+// shipped to each slave in order. There is no failover: when the master is
+// unreachable writes fail, which is exactly the availability weakness the
+// paper's NWR layer removes.
+//
+// A BeforeOp hook lets the failure-injection framework perturb individual
+// node operations; a hook error on a slave queues the op for catch-up, a
+// hook error on the master fails the write.
+type ReplicaSet struct {
+	mu      sync.Mutex
+	master  *Store
+	slaves  []*Store
+	pending [][]Op // per-slave catch-up queues, in op order
+
+	// BeforeOp, when non-nil, runs before every node-level operation.
+	// node 0 is the master; slaves are 1..len(slaves). Returning an error
+	// makes that node's operation fail.
+	BeforeOp func(node int, kind string) error
+}
+
+// ErrMasterDown reports a failed master-side write.
+var ErrMasterDown = errors.New("docstore: master unavailable")
+
+// NewReplicaSet wires a master and slaves. The master must not already have
+// a replication hook.
+func NewReplicaSet(master *Store, slaves ...*Store) *ReplicaSet {
+	rs := &ReplicaSet{
+		master:  master,
+		slaves:  slaves,
+		pending: make([][]Op, len(slaves)),
+	}
+	master.SetReplicationHook(rs.ship)
+	return rs
+}
+
+// Master returns the master store (for direct inspection in tests).
+func (rs *ReplicaSet) Master() *Store { return rs.master }
+
+// Slaves returns the slave stores.
+func (rs *ReplicaSet) Slaves() []*Store { return rs.slaves }
+
+// ship is the master's replication hook: append the op to every slave,
+// queueing for any slave whose hook rejects the delivery.
+func (rs *ReplicaSet) ship(op Op) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	for i := range rs.slaves {
+		rs.pending[i] = append(rs.pending[i], op)
+	}
+	rs.flushLocked()
+}
+
+// flushLocked delivers queued ops to each slave until a hook failure stops
+// that slave's queue (order must be preserved per slave).
+func (rs *ReplicaSet) flushLocked() {
+	for i, slave := range rs.slaves {
+		q := rs.pending[i]
+		n := 0
+		for _, op := range q {
+			if rs.BeforeOp != nil {
+				if err := rs.BeforeOp(i+1, "replicate"); err != nil {
+					break
+				}
+			}
+			if err := slave.ApplyReplicated(op); err != nil {
+				break
+			}
+			n++
+		}
+		rs.pending[i] = q[n:]
+	}
+}
+
+// CatchUp retries delivery of queued ops, e.g. after a failure clears.
+func (rs *ReplicaSet) CatchUp() {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.flushLocked()
+}
+
+// Lag returns the number of ops queued for each slave.
+func (rs *ReplicaSet) Lag() []int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make([]int, len(rs.pending))
+	for i, q := range rs.pending {
+		out[i] = len(q)
+	}
+	return out
+}
+
+// Put inserts or replaces doc in the master's collection coll.
+func (rs *ReplicaSet) Put(coll string, doc bson.D) (any, error) {
+	if rs.BeforeOp != nil {
+		if err := rs.BeforeOp(0, "put"); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrMasterDown, err)
+		}
+	}
+	return rs.master.C(coll).Upsert(doc)
+}
+
+// Delete removes id from the master's collection coll.
+func (rs *ReplicaSet) Delete(coll string, id any) (bool, error) {
+	if rs.BeforeOp != nil {
+		if err := rs.BeforeOp(0, "delete"); err != nil {
+			return false, fmt.Errorf("%w: %v", ErrMasterDown, err)
+		}
+	}
+	return rs.master.C(coll).Delete(id)
+}
+
+// Get reads id from the first reachable node, master first — the
+// master/slave read path MongoDB drivers of the era used.
+func (rs *ReplicaSet) Get(coll string, id any) (bson.D, bool, error) {
+	for node := 0; node <= len(rs.slaves); node++ {
+		if rs.BeforeOp != nil {
+			if err := rs.BeforeOp(node, "get"); err != nil {
+				continue
+			}
+		}
+		var store *Store
+		if node == 0 {
+			store = rs.master
+		} else {
+			store = rs.slaves[node-1]
+		}
+		if doc, ok := store.C(coll).Get(id); ok {
+			return doc, true, nil
+		}
+		// A reachable node that lacks the document answers authoritatively
+		// only if it is the master; a lagging slave may simply not have it
+		// yet.
+		if node == 0 {
+			return nil, false, nil
+		}
+	}
+	return nil, false, errors.New("docstore: no reachable replica")
+}

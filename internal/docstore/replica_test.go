@@ -1,0 +1,149 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newTestReplicaSet(t *testing.T, slaves int) *ReplicaSet {
+	t.Helper()
+	master, err := Open(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { master.Close() })
+	var ss []*Store
+	for i := 0; i < slaves; i++ {
+		s, err := Open(Options{ReadOnly: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		ss = append(ss, s)
+	}
+	return NewReplicaSet(master, ss...)
+}
+
+func TestReplicaSetShipsOps(t *testing.T) {
+	rs := newTestReplicaSet(t, 2)
+	for i := 0; i < 20; i++ {
+		if _, err := rs.Put("records", record(fmt.Sprintf("k%02d", i), 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, slave := range rs.Slaves() {
+		if got := slave.C("records").Len(); got != 20 {
+			t.Fatalf("slave %d has %d docs, want 20", i, got)
+		}
+	}
+	for _, lag := range rs.Lag() {
+		if lag != 0 {
+			t.Fatalf("Lag = %v, want zeros", rs.Lag())
+		}
+	}
+}
+
+func TestReplicaSetGetFallsBackToSlaves(t *testing.T) {
+	rs := newTestReplicaSet(t, 2)
+	rs.Put("records", record("a", 8).Set("_id", "k")) //nolint:errcheck
+	// Master becomes unreachable for reads.
+	rs.BeforeOp = func(node int, kind string) error {
+		if node == 0 {
+			return errors.New("master down")
+		}
+		return nil
+	}
+	doc, found, err := rs.Get("records", "k")
+	if err != nil || !found {
+		t.Fatalf("Get via slave = %v, %v, %v", doc, found, err)
+	}
+}
+
+func TestReplicaSetMasterDownFailsWrites(t *testing.T) {
+	rs := newTestReplicaSet(t, 1)
+	rs.BeforeOp = func(node int, kind string) error {
+		if node == 0 && kind == "put" {
+			return errors.New("breakdown")
+		}
+		return nil
+	}
+	if _, err := rs.Put("records", record("x", 8)); !errors.Is(err, ErrMasterDown) {
+		t.Fatalf("err = %v, want ErrMasterDown", err)
+	}
+	if _, err := rs.Delete("records", "k"); err == nil {
+		rs.BeforeOp = func(int, string) error { return errors.New("any") }
+		if _, err := rs.Delete("records", "k"); !errors.Is(err, ErrMasterDown) {
+			t.Fatalf("delete err = %v, want ErrMasterDown", err)
+		}
+	}
+}
+
+func TestReplicaSetSlaveLagAndCatchUp(t *testing.T) {
+	rs := newTestReplicaSet(t, 2)
+	slaveDown := true
+	rs.BeforeOp = func(node int, kind string) error {
+		if node == 2 && slaveDown {
+			return errors.New("slave 2 down")
+		}
+		return nil
+	}
+	for i := 0; i < 10; i++ {
+		rs.Put("records", record(fmt.Sprintf("k%d", i), 8)) //nolint:errcheck
+	}
+	if rs.Slaves()[0].C("records").Len() != 10 {
+		t.Fatal("healthy slave did not replicate")
+	}
+	if rs.Slaves()[1].C("records").Len() != 0 {
+		t.Fatal("down slave replicated")
+	}
+	if lag := rs.Lag(); lag[1] != 10 {
+		t.Fatalf("Lag = %v, want [0 10]", lag)
+	}
+	// Recovery: ops are delivered in order.
+	slaveDown = false
+	rs.CatchUp()
+	if got := rs.Slaves()[1].C("records").Len(); got != 10 {
+		t.Fatalf("slave after catch-up has %d docs, want 10", got)
+	}
+	if lag := rs.Lag(); lag[1] != 0 {
+		t.Fatalf("Lag after catch-up = %v", lag)
+	}
+}
+
+func TestReplicaSetOrderPreservedThroughFailure(t *testing.T) {
+	rs := newTestReplicaSet(t, 1)
+	fail := false
+	rs.BeforeOp = func(node int, kind string) error {
+		if node == 1 && fail {
+			return errors.New("down")
+		}
+		return nil
+	}
+	rs.Put("records", record("v1", 8).Set("_id", "k")) //nolint:errcheck
+	fail = true
+	rs.Put("records", record("v2", 8).Set("_id", "k")) //nolint:errcheck
+	rs.Put("records", record("v3", 8).Set("_id", "k")) //nolint:errcheck
+	fail = false
+	rs.CatchUp()
+	doc, ok := rs.Slaves()[0].C("records").Get("k")
+	if !ok || doc.StringOr("self-key", "") != "v3" {
+		t.Fatalf("slave state after ordered catch-up = %s", doc)
+	}
+}
+
+func TestReplicaSetDeleteReplicates(t *testing.T) {
+	rs := newTestReplicaSet(t, 1)
+	rs.Put("records", record("a", 8).Set("_id", "k")) //nolint:errcheck
+	ok, err := rs.Delete("records", "k")
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if rs.Slaves()[0].C("records").Len() != 0 {
+		t.Fatal("delete not replicated")
+	}
+	_, found, err := rs.Get("records", "k")
+	if err != nil || found {
+		t.Fatalf("Get after delete = %v, %v", found, err)
+	}
+}

@@ -1,0 +1,193 @@
+package docstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mystore/internal/bson"
+	"mystore/internal/btree"
+	"mystore/internal/wal"
+)
+
+// Snapshotting bounds WAL growth: Compact writes the full store contents to
+// a snapshot file, records the WAL position it covers, and drops the WAL
+// segments before that position. On open, the snapshot loads first and the
+// WAL replays from the recorded position.
+//
+// Snapshot file layout: a stream of length-prefixed BSON documents. The
+// first is a header {"lsn": int64}; then, per collection, one
+// {"coll": name, "indexes": [{"field": f, "unique": b}, ...]} descriptor
+// followed by one {"coll": name, "doc": <document>} entry per document.
+
+const snapshotFile = "snapshot.bson"
+
+// Compact writes a snapshot and truncates the WAL before it. It is a no-op
+// for in-memory stores.
+func (s *Store) Compact() error {
+	if s.opts.Dir == "" {
+		return nil
+	}
+	// Hold writeMu so the snapshot is a consistent point-in-time image and
+	// its LSN matches exactly the ops it contains.
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	colls := make(map[string]*Collection, len(s.colls))
+	for name, c := range s.colls {
+		colls[name] = c
+	}
+	s.mu.RUnlock()
+
+	upto := s.log.NextLSN()
+	tmp := filepath.Join(s.opts.Dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("docstore: create snapshot: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+
+	writeDoc := func(d bson.D) error {
+		enc, err := bson.Marshal(d)
+		if err != nil {
+			return err
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(enc)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err = w.Write(enc)
+		return err
+	}
+
+	err = writeDoc(bson.D{{Key: "lsn", Value: int64(upto)}})
+	if err == nil {
+		for name, c := range colls {
+			var indexes bson.A
+			c.mu.RLock()
+			for field, ix := range c.indexes {
+				indexes = append(indexes, bson.D{
+					{Key: "field", Value: field},
+					{Key: "unique", Value: ix.unique},
+				})
+			}
+			if err = writeDoc(bson.D{{Key: "coll", Value: name}, {Key: "indexes", Value: indexes}}); err == nil {
+				c.primary.Ascend(func(it btree.Item) bool {
+					err = writeDoc(bson.D{{Key: "coll", Value: name}, {Key: "doc", Value: it.Value.(bson.D)}})
+					return err == nil
+				})
+			}
+			c.mu.RUnlock()
+			if err != nil {
+				break
+			}
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("docstore: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotFile)); err != nil {
+		return fmt.Errorf("docstore: install snapshot: %w", err)
+	}
+	return s.log.TruncateBefore(upto)
+}
+
+// loadSnapshot restores collections from the snapshot file, if present, and
+// returns the LSN from which the WAL must replay.
+func (s *Store) loadSnapshot() (wal.LSN, error) {
+	path := filepath.Join(s.opts.Dir, snapshotFile)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 1, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("docstore: open snapshot: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+
+	readDoc := func() (bson.D, error) {
+		var hdr [4]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(hdr[:])
+		if n > bson.MaxDocumentSize {
+			return nil, fmt.Errorf("docstore: snapshot entry of %d bytes", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return bson.Unmarshal(buf)
+	}
+
+	header, err := readDoc()
+	if err != nil {
+		return 0, fmt.Errorf("docstore: snapshot header: %w", err)
+	}
+	lsnVal, ok := header.Get("lsn")
+	lsn, isInt := lsnVal.(int64)
+	if !ok || !isInt || lsn < 1 {
+		return 0, errors.New("docstore: snapshot header missing lsn")
+	}
+
+	for {
+		entry, err := readDoc()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return 0, fmt.Errorf("docstore: snapshot entry: %w", err)
+		}
+		name := entry.StringOr("coll", "")
+		if name == "" {
+			return 0, errors.New("docstore: snapshot entry missing coll")
+		}
+		c := s.C(name)
+		if docVal, ok := entry.Get("doc"); ok {
+			doc, isDoc := docVal.(bson.D)
+			if !isDoc {
+				return 0, fmt.Errorf("docstore: snapshot doc is %T", docVal)
+			}
+			if err := c.applyInsert(doc); err != nil {
+				return 0, err
+			}
+			continue
+		}
+		if ixVal, ok := entry.Get("indexes"); ok {
+			arr, _ := ixVal.(bson.A)
+			for _, v := range arr {
+				spec, isDoc := v.(bson.D)
+				if !isDoc {
+					continue
+				}
+				uniqueVal, _ := spec.Get("unique")
+				unique, _ := uniqueVal.(bool)
+				if err := c.applyEnsureIndex(spec.StringOr("field", ""), unique); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	return wal.LSN(lsn), nil
+}

@@ -1,0 +1,330 @@
+// Package docstore implements the MongoDB-like document store MyStore
+// clusters: schema-free BSON collections with automatically assigned _id
+// keys, secondary indexes, a query engine with the shell operator dialect,
+// WAL-backed persistence with snapshot compaction, and (for the paper's
+// baseline comparison) master/slave oplog replication.
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mystore/internal/bson"
+	"mystore/internal/wal"
+)
+
+// Errors returned by the store.
+var (
+	ErrClosed       = errors.New("docstore: store is closed")
+	ErrBadId        = errors.New("docstore: unsupported _id type")
+	ErrNotFound     = errors.New("docstore: document not found")
+	ErrDuplicate    = errors.New("docstore: duplicate key")
+	ErrBadFilter    = errors.New("docstore: malformed filter")
+	ErrReadOnly     = errors.New("docstore: store is read-only (slave)")
+	ErrNoCollection = errors.New("docstore: no such collection")
+)
+
+// Options configure a Store.
+type Options struct {
+	// Dir is the persistence directory. Empty means a purely in-memory
+	// store (used heavily by simulations and tests).
+	Dir string
+	// WAL tunes the write-ahead log when Dir is set.
+	WAL wal.Options
+	// ReadOnly rejects all mutations; slave replicas set this and apply
+	// ops through the replication channel instead.
+	ReadOnly bool
+}
+
+// Op is one logical mutation, as written to the WAL and shipped to slaves.
+type Op struct {
+	Kind   string // "insert", "update", "delete", "index", "dropcoll"
+	Coll   string
+	Doc    bson.D // insert/update: full document
+	Id     any    // delete: primary key
+	Field  string // index: field path
+	Unique bool   // index: uniqueness
+	Seq    uint64 // assigned in apply order, 1-based
+}
+
+// Store is a document database instance. All exported methods are safe for
+// concurrent use.
+type Store struct {
+	writeMu sync.Mutex // serializes mutations so WAL order == apply order
+	mu      sync.RWMutex
+	opts    Options
+	log     *wal.Log
+	colls   map[string]*Collection
+	onOp    func(Op) // replication hook, called in apply order under writeMu
+	seq     uint64
+	closed  bool
+
+	statScans    uint64
+	statIndexHit uint64
+}
+
+// Open opens a store. With a Dir it loads the latest snapshot (if any) and
+// replays the WAL; without one it is purely in-memory.
+func Open(opts Options) (*Store, error) {
+	s := &Store{opts: opts, colls: make(map[string]*Collection)}
+	if opts.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("docstore: create dir: %w", err)
+	}
+	from, err := s.loadSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(opts.Dir, "wal"), opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	err = log.Replay(from, func(_ wal.LSN, rec []byte) error {
+		doc, err := bson.Unmarshal(rec)
+		if err != nil {
+			return fmt.Errorf("docstore: corrupt WAL record: %w", err)
+		}
+		op, err := decodeOp(doc)
+		if err != nil {
+			return err
+		}
+		return s.applyLocked(op)
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// SetReplicationHook installs fn to receive every mutation in apply order.
+// Pass nil to remove. The hook runs synchronously inside the write path.
+func (s *Store) SetReplicationHook(fn func(Op)) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.onOp = fn
+}
+
+// C returns the named collection, creating it on first use (the MongoDB
+// behaviour the paper's record examples rely on).
+func (s *Store) C(name string) *Collection {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.colls[name]; ok {
+		return c
+	}
+	c := newCollection(s, name)
+	s.colls[name] = c
+	return c
+}
+
+// Collections returns the names of existing collections.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.colls))
+	for name := range s.colls {
+		out = append(out, name)
+	}
+	return out
+}
+
+// DropCollection removes a collection and its documents.
+func (s *Store) DropCollection(name string) error {
+	return s.mutate(Op{Kind: "dropcoll", Coll: name})
+}
+
+// mutate validates, logs, applies and publishes one op.
+func (s *Store) mutate(op Op) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	closed, readOnly := s.closed, s.opts.ReadOnly
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if readOnly {
+		return ErrReadOnly
+	}
+	return s.commitLocked(op)
+}
+
+// commitLocked logs and applies op. Caller holds writeMu.
+func (s *Store) commitLocked(op Op) error {
+	// Validate by dry-applying before logging, so the WAL never holds a
+	// rejected op (e.g. a duplicate key insert).
+	if err := s.checkOp(op); err != nil {
+		return err
+	}
+	if s.log != nil {
+		rec, err := bson.Marshal(encodeOp(op))
+		if err != nil {
+			return err
+		}
+		if _, err := s.log.Append(rec); err != nil {
+			return err
+		}
+	}
+	if err := s.applyLocked(op); err != nil {
+		// checkOp guarantees this cannot happen; if it does, the in-memory
+		// state and WAL have diverged and continuing would corrupt data.
+		panic(fmt.Sprintf("docstore: apply after successful check failed: %v", err))
+	}
+	s.seq++
+	op.Seq = s.seq
+	if s.onOp != nil {
+		s.onOp(op)
+	}
+	return nil
+}
+
+// ApplyReplicated applies an op received from a master, bypassing the
+// read-only check. Ops must arrive in master order.
+func (s *Store) ApplyReplicated(op Op) error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := s.checkOp(op); err != nil {
+		return err
+	}
+	if s.log != nil {
+		rec, err := bson.Marshal(encodeOp(op))
+		if err != nil {
+			return err
+		}
+		if _, err := s.log.Append(rec); err != nil {
+			return err
+		}
+	}
+	return s.applyLocked(op)
+}
+
+// checkOp verifies op can apply cleanly.
+func (s *Store) checkOp(op Op) error {
+	switch op.Kind {
+	case "insert":
+		return s.C(op.Coll).checkInsert(op.Doc)
+	case "update":
+		return s.C(op.Coll).checkUpdate(op.Doc)
+	case "delete":
+		_, err := idKey(op.Id)
+		return err
+	case "index", "dropcoll":
+		return nil
+	default:
+		return fmt.Errorf("docstore: unknown op kind %q", op.Kind)
+	}
+}
+
+// applyLocked mutates in-memory state. Caller holds writeMu (or is in
+// single-threaded recovery).
+func (s *Store) applyLocked(op Op) error {
+	switch op.Kind {
+	case "insert":
+		return s.C(op.Coll).applyInsert(op.Doc)
+	case "update":
+		return s.C(op.Coll).applyUpdate(op.Doc)
+	case "delete":
+		return s.C(op.Coll).applyDelete(op.Id)
+	case "index":
+		return s.C(op.Coll).applyEnsureIndex(op.Field, op.Unique)
+	case "dropcoll":
+		s.mu.Lock()
+		delete(s.colls, op.Coll)
+		s.mu.Unlock()
+		return nil
+	default:
+		return fmt.Errorf("docstore: unknown op kind %q", op.Kind)
+	}
+}
+
+// Stats summarize the store for monitoring and tests.
+type Stats struct {
+	Collections int
+	Documents   int
+	DataBytes   int64
+	IndexHits   uint64
+	Scans       uint64
+}
+
+// Stats returns current aggregate statistics.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{Collections: len(s.colls), IndexHits: s.statIndexHit, Scans: s.statScans}
+	for _, c := range s.colls {
+		c.mu.RLock()
+		st.Documents += c.primary.Len()
+		st.DataBytes += c.dataBytes
+		c.mu.RUnlock()
+	}
+	return st
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.log != nil {
+		return s.log.Close()
+	}
+	return nil
+}
+
+func encodeOp(op Op) bson.D {
+	d := bson.D{{Key: "op", Value: op.Kind}, {Key: "coll", Value: op.Coll}}
+	if op.Doc != nil {
+		d = append(d, bson.E{Key: "doc", Value: op.Doc})
+	}
+	if op.Id != nil {
+		d = append(d, bson.E{Key: "id", Value: op.Id})
+	}
+	if op.Field != "" {
+		d = append(d, bson.E{Key: "field", Value: op.Field})
+		d = append(d, bson.E{Key: "unique", Value: op.Unique})
+	}
+	return d
+}
+
+func decodeOp(d bson.D) (Op, error) {
+	op := Op{}
+	op.Kind = d.StringOr("op", "")
+	op.Coll = d.StringOr("coll", "")
+	if v, ok := d.Get("doc"); ok {
+		doc, ok := v.(bson.D)
+		if !ok {
+			return op, fmt.Errorf("docstore: op doc is %T", v)
+		}
+		op.Doc = doc
+	}
+	if v, ok := d.Get("id"); ok {
+		op.Id = v
+	}
+	op.Field = d.StringOr("field", "")
+	if v, ok := d.Get("unique"); ok {
+		b, _ := v.(bool)
+		op.Unique = b
+	}
+	if op.Kind == "" {
+		return op, errors.New("docstore: op record missing kind")
+	}
+	return op, nil
+}

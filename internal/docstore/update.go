@@ -1,0 +1,180 @@
+package docstore
+
+import (
+	"fmt"
+
+	"mystore/internal/bson"
+)
+
+// Partial updates in the MongoDB shell dialect: an update document whose
+// top-level keys are operators applied to the stored document. Supported:
+//
+//	$set   {field: value, ...}   set fields (dotted paths descend)
+//	$unset {field: anything}     remove fields
+//	$inc   {field: number}       add to a numeric field (missing = 0)
+//
+// A plain document without $-operators is a full replacement, matching
+// MongoDB's update semantics of the era.
+
+// ErrBadUpdate reports a malformed update document.
+var ErrBadUpdate = fmt.Errorf("docstore: malformed update")
+
+// UpdateById applies update to the document with the given primary key.
+func (c *Collection) UpdateById(id any, update bson.D) error {
+	current, ok := c.Get(id)
+	if !ok {
+		return fmt.Errorf("%w: _id %v", ErrNotFound, id)
+	}
+	next, err := ApplyUpdate(current, update)
+	if err != nil {
+		return err
+	}
+	return c.Update(next)
+}
+
+// UpdateMany applies update to every document matching filter, returning
+// how many changed. The scan snapshot is taken first, so an update that
+// changes a document's match status does not affect the set.
+func (c *Collection) UpdateMany(filter Filter, update bson.D) (int, error) {
+	docs, err := c.Find(filter, FindOptions{})
+	if err != nil {
+		return 0, err
+	}
+	for i, doc := range docs {
+		next, err := ApplyUpdate(doc, update)
+		if err != nil {
+			return i, err
+		}
+		if err := c.Update(next); err != nil {
+			return i, err
+		}
+	}
+	return len(docs), nil
+}
+
+// ApplyUpdate returns the document that results from applying update to
+// doc. doc is not modified. _id cannot be changed.
+func ApplyUpdate(doc bson.D, update bson.D) (bson.D, error) {
+	if !isOperatorDoc(update) {
+		// Full replacement, keeping the original _id.
+		next := update.Clone()
+		if id, ok := doc.Get("_id"); ok {
+			if nid, has := next.Get("_id"); has {
+				if Compare(nid, id) != 0 {
+					return nil, fmt.Errorf("%w: cannot change _id", ErrBadUpdate)
+				}
+			} else {
+				next = append(bson.D{{Key: "_id", Value: id}}, next...)
+			}
+		}
+		return next, nil
+	}
+	next := doc.Clone()
+	for _, op := range update {
+		operand, ok := op.Value.(bson.D)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s requires a document operand", ErrBadUpdate, op.Key)
+		}
+		for _, field := range operand {
+			if field.Key == "_id" {
+				return nil, fmt.Errorf("%w: cannot update _id", ErrBadUpdate)
+			}
+			var err error
+			switch op.Key {
+			case "$set":
+				next, err = setPath(next, field.Key, field.Value)
+			case "$unset":
+				next, err = unsetPath(next, field.Key)
+			case "$inc":
+				next, err = incPath(next, field.Key, field.Value)
+			default:
+				return nil, fmt.Errorf("%w: unknown operator %q", ErrBadUpdate, op.Key)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return next, nil
+}
+
+// setPath sets a possibly dotted path, creating intermediate documents.
+func setPath(doc bson.D, path string, value any) (bson.D, error) {
+	head, rest := splitPath(path)
+	if rest == "" {
+		return doc.Set(head, bson.CloneValue(value)), nil
+	}
+	sub := bson.D{}
+	if v, ok := doc.Get(head); ok {
+		d, isDoc := v.(bson.D)
+		if !isDoc {
+			return nil, fmt.Errorf("%w: %q is not a document", ErrBadUpdate, head)
+		}
+		sub = d
+	}
+	newSub, err := setPath(sub, rest, value)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Set(head, newSub), nil
+}
+
+// unsetPath removes a possibly dotted path; absent paths are no-ops.
+func unsetPath(doc bson.D, path string) (bson.D, error) {
+	head, rest := splitPath(path)
+	if rest == "" {
+		return doc.Delete(head), nil
+	}
+	v, ok := doc.Get(head)
+	if !ok {
+		return doc, nil
+	}
+	sub, isDoc := v.(bson.D)
+	if !isDoc {
+		return doc, nil
+	}
+	newSub, err := unsetPath(sub, rest)
+	if err != nil {
+		return nil, err
+	}
+	return doc.Set(head, newSub), nil
+}
+
+// incPath adds a numeric delta to a path, creating it at zero when absent.
+func incPath(doc bson.D, path string, delta any) (bson.D, error) {
+	d, ok := numeric(delta)
+	if !ok {
+		return nil, fmt.Errorf("%w: $inc delta must be numeric, got %T", ErrBadUpdate, delta)
+	}
+	cur := 0.0
+	wasInt := true
+	if v, found := lookupPath(doc, path); found {
+		c, isNum := numeric(v)
+		if !isNum {
+			return nil, fmt.Errorf("%w: $inc target %q is not numeric", ErrBadUpdate, path)
+		}
+		cur = c
+		if _, isFloat := v.(float64); isFloat {
+			wasInt = false
+		}
+	}
+	if _, deltaFloat := delta.(float64); deltaFloat {
+		wasInt = false
+	}
+	var value any
+	if wasInt {
+		value = int64(cur) + int64(d)
+	} else {
+		value = cur + d
+	}
+	return setPath(doc, path, value)
+}
+
+func splitPath(path string) (head, rest string) {
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			return path[:i], path[i+1:]
+		}
+	}
+	return path, ""
+}

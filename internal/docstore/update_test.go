@@ -1,0 +1,187 @@
+package docstore
+
+import (
+	"errors"
+	"testing"
+
+	"mystore/internal/bson"
+)
+
+func TestApplyUpdateSet(t *testing.T) {
+	doc := bson.D{{Key: "_id", Value: "k"}, {Key: "a", Value: int64(1)}}
+	next, err := ApplyUpdate(doc, bson.D{{Key: "$set", Value: bson.D{
+		{Key: "a", Value: int64(2)},
+		{Key: "b", Value: "new"},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := next.Get("a"); v != int64(2) {
+		t.Errorf("a = %v", v)
+	}
+	if v, _ := next.Get("b"); v != "new" {
+		t.Errorf("b = %v", v)
+	}
+	// Original untouched.
+	if v, _ := doc.Get("a"); v != int64(1) {
+		t.Error("ApplyUpdate mutated its input")
+	}
+}
+
+func TestApplyUpdateSetDottedCreatesIntermediates(t *testing.T) {
+	doc := bson.D{{Key: "_id", Value: "k"}}
+	next, err := ApplyUpdate(doc, bson.D{{Key: "$set", Value: bson.D{
+		{Key: "meta.owner.name", Value: "alice"},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := lookupPath(next, "meta.owner.name"); !ok || v != "alice" {
+		t.Fatalf("dotted set = %v, %v", v, ok)
+	}
+	// Setting through a scalar fails.
+	doc2 := bson.D{{Key: "x", Value: "scalar"}}
+	if _, err := ApplyUpdate(doc2, bson.D{{Key: "$set", Value: bson.D{{Key: "x.y", Value: 1}}}}); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("set through scalar err = %v", err)
+	}
+}
+
+func TestApplyUpdateUnset(t *testing.T) {
+	doc := bson.D{
+		{Key: "_id", Value: "k"},
+		{Key: "a", Value: int64(1)},
+		{Key: "meta", Value: bson.D{{Key: "x", Value: int64(2)}, {Key: "y", Value: int64(3)}}},
+	}
+	next, err := ApplyUpdate(doc, bson.D{{Key: "$unset", Value: bson.D{
+		{Key: "a", Value: int32(1)},
+		{Key: "meta.x", Value: int32(1)},
+		{Key: "absent", Value: int32(1)},
+		{Key: "meta.absent.deeper", Value: int32(1)},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Has("a") {
+		t.Error("a not unset")
+	}
+	if _, ok := lookupPath(next, "meta.x"); ok {
+		t.Error("meta.x not unset")
+	}
+	if _, ok := lookupPath(next, "meta.y"); !ok {
+		t.Error("meta.y collateral damage")
+	}
+}
+
+func TestApplyUpdateInc(t *testing.T) {
+	doc := bson.D{
+		{Key: "_id", Value: "k"},
+		{Key: "views", Value: int64(10)},
+		{Key: "score", Value: 1.5},
+	}
+	next, err := ApplyUpdate(doc, bson.D{{Key: "$inc", Value: bson.D{
+		{Key: "views", Value: int64(5)},
+		{Key: "score", Value: 0.5},
+		{Key: "fresh", Value: int64(3)},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := next.Get("views"); v != int64(15) {
+		t.Errorf("views = %v (%T)", v, v)
+	}
+	if v, _ := next.Get("score"); v != 2.0 {
+		t.Errorf("score = %v", v)
+	}
+	if v, _ := next.Get("fresh"); v != int64(3) {
+		t.Errorf("fresh = %v", v)
+	}
+	// Bad targets.
+	doc2 := bson.D{{Key: "s", Value: "text"}}
+	if _, err := ApplyUpdate(doc2, bson.D{{Key: "$inc", Value: bson.D{{Key: "s", Value: int64(1)}}}}); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("$inc on string err = %v", err)
+	}
+	if _, err := ApplyUpdate(doc2, bson.D{{Key: "$inc", Value: bson.D{{Key: "n", Value: "1"}}}}); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("$inc with string delta err = %v", err)
+	}
+}
+
+func TestApplyUpdateReplacement(t *testing.T) {
+	doc := bson.D{{Key: "_id", Value: "k"}, {Key: "old", Value: int64(1)}}
+	next, err := ApplyUpdate(doc, bson.D{{Key: "fresh", Value: "v"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Has("old") || !next.Has("fresh") {
+		t.Fatalf("replacement = %s", next)
+	}
+	if id, _ := next.Get("_id"); id != "k" {
+		t.Fatal("replacement dropped _id")
+	}
+	// Changing _id in a replacement is rejected.
+	if _, err := ApplyUpdate(doc, bson.D{{Key: "_id", Value: "other"}}); !errors.Is(err, ErrBadUpdate) {
+		t.Fatalf("id change err = %v", err)
+	}
+}
+
+func TestApplyUpdateRejects(t *testing.T) {
+	doc := bson.D{{Key: "_id", Value: "k"}}
+	for _, bad := range []bson.D{
+		{{Key: "$set", Value: "not-a-doc"}},
+		{{Key: "$bogus", Value: bson.D{{Key: "a", Value: 1}}}},
+		{{Key: "$set", Value: bson.D{{Key: "_id", Value: "other"}}}},
+	} {
+		if _, err := ApplyUpdate(doc, bad); !errors.Is(err, ErrBadUpdate) {
+			t.Errorf("update %s accepted (err=%v)", bad, err)
+		}
+	}
+}
+
+func TestUpdateByIdAndMany(t *testing.T) {
+	s := memStore(t)
+	c := s.C("items")
+	for i := 0; i < 10; i++ {
+		c.Insert(bson.D{ //nolint:errcheck
+			{Key: "_id", Value: int64(i)},
+			{Key: "views", Value: int64(0)},
+			{Key: "group", Value: []string{"a", "b"}[i%2]},
+		})
+	}
+	if err := c.UpdateById(int64(3), bson.D{{Key: "$inc", Value: bson.D{{Key: "views", Value: int64(7)}}}}); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := c.Get(int64(3))
+	if v, _ := doc.Get("views"); v != int64(7) {
+		t.Fatalf("views = %v", v)
+	}
+	if err := c.UpdateById(int64(99), bson.D{{Key: "$set", Value: bson.D{{Key: "x", Value: 1}}}}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing id err = %v", err)
+	}
+	n, err := c.UpdateMany(Filter{{Key: "group", Value: "a"}},
+		bson.D{{Key: "$set", Value: bson.D{{Key: "flagged", Value: true}}}})
+	if err != nil || n != 5 {
+		t.Fatalf("UpdateMany = %d, %v", n, err)
+	}
+	flagged, _ := c.Count(Filter{{Key: "flagged", Value: true}})
+	if flagged != 5 {
+		t.Fatalf("flagged count = %d", flagged)
+	}
+}
+
+func TestUpdateManyMaintainsIndexes(t *testing.T) {
+	s := memStore(t)
+	c := s.C("items")
+	c.EnsureIndex("status", false) //nolint:errcheck
+	for i := 0; i < 6; i++ {
+		c.Insert(bson.D{{Key: "_id", Value: int64(i)}, {Key: "status", Value: "new"}}) //nolint:errcheck
+	}
+	n, err := c.UpdateMany(Filter{{Key: "status", Value: "new"}},
+		bson.D{{Key: "$set", Value: bson.D{{Key: "status", Value: "done"}}}})
+	if err != nil || n != 6 {
+		t.Fatalf("UpdateMany = %d, %v", n, err)
+	}
+	news, _ := c.Find(Filter{{Key: "status", Value: "new"}}, FindOptions{})
+	dones, _ := c.Find(Filter{{Key: "status", Value: "done"}}, FindOptions{})
+	if len(news) != 0 || len(dones) != 6 {
+		t.Fatalf("index stale after UpdateMany: new=%d done=%d", len(news), len(dones))
+	}
+}

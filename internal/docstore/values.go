@@ -1,0 +1,249 @@
+package docstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/uuid"
+)
+
+// Value comparison and order-preserving key encoding shared by the query
+// engine and the index layer. A total order is defined across all supported
+// BSON types so that mixed-type fields still sort deterministically:
+//
+//	null < numbers < string < binary < ObjectId < bool < datetime < document < array
+//
+// Numbers (int32, int64, float64) compare by numeric value regardless of
+// their concrete type, as in MongoDB.
+
+const (
+	rankNull = iota
+	rankNumber
+	rankString
+	rankBinary
+	rankObjectId
+	rankBool
+	rankDatetime
+	rankDocument
+	rankArray
+)
+
+func typeRank(v any) int {
+	switch v.(type) {
+	case nil:
+		return rankNull
+	case int32, int64, float64:
+		return rankNumber
+	case string:
+		return rankString
+	case []byte:
+		return rankBinary
+	case uuid.ObjectId:
+		return rankObjectId
+	case bool:
+		return rankBool
+	case time.Time:
+		return rankDatetime
+	case bson.D:
+		return rankDocument
+	case bson.A:
+		return rankArray
+	default:
+		// Unknown values sort after everything; they cannot be produced by
+		// the codec, only by in-process misuse.
+		return rankArray + 1
+	}
+}
+
+func numeric(v any) (float64, bool) {
+	switch t := v.(type) {
+	case int32:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	case float64:
+		return t, true
+	default:
+		return 0, false
+	}
+}
+
+// Compare orders two BSON values per the canonical order above. It returns
+// -1, 0 or +1.
+func Compare(a, b any) int {
+	ra, rb := typeRank(a), typeRank(b)
+	if ra != rb {
+		return sign(ra - rb)
+	}
+	switch ra {
+	case rankNull:
+		return 0
+	case rankNumber:
+		fa, _ := numeric(a)
+		fb, _ := numeric(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	case rankString:
+		return sign(bytes.Compare([]byte(a.(string)), []byte(b.(string))))
+	case rankBinary:
+		return sign(bytes.Compare(a.([]byte), b.([]byte)))
+	case rankObjectId:
+		oa, ob := a.(uuid.ObjectId), b.(uuid.ObjectId)
+		return sign(bytes.Compare(oa[:], ob[:]))
+	case rankBool:
+		ba, bb := a.(bool), b.(bool)
+		switch {
+		case ba == bb:
+			return 0
+		case !ba:
+			return -1
+		default:
+			return 1
+		}
+	case rankDatetime:
+		ta, tb := a.(time.Time), b.(time.Time)
+		switch {
+		case ta.Before(tb):
+			return -1
+		case ta.After(tb):
+			return 1
+		default:
+			return 0
+		}
+	case rankDocument:
+		return compareDocs(a.(bson.D), b.(bson.D))
+	case rankArray:
+		return compareArrays(a.(bson.A), b.(bson.A))
+	default:
+		return 0
+	}
+}
+
+func compareDocs(a, b bson.D) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := sign(bytes.Compare([]byte(a[i].Key), []byte(b[i].Key))); c != 0 {
+			return c
+		}
+		if c := Compare(a[i].Value, b[i].Value); c != 0 {
+			return c
+		}
+	}
+	return sign(len(a) - len(b))
+}
+
+func compareArrays(a, b bson.A) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return sign(len(a) - len(b))
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// EncodeKey produces an order-preserving byte encoding of a value:
+// bytes.Compare(EncodeKey(a), EncodeKey(b)) == Compare(a, b) for all
+// supported values. Index trees are keyed by these encodings.
+func EncodeKey(v any) []byte {
+	return appendKey(nil, v)
+}
+
+func appendKey(buf []byte, v any) []byte {
+	buf = append(buf, byte(typeRank(v)))
+	switch t := v.(type) {
+	case nil:
+		return buf
+	case int32:
+		return appendOrderedFloat(buf, float64(t))
+	case int64:
+		return appendOrderedFloat(buf, float64(t))
+	case float64:
+		return appendOrderedFloat(buf, t)
+	case string:
+		return appendEscaped(buf, []byte(t))
+	case []byte:
+		return appendEscaped(buf, t)
+	case uuid.ObjectId:
+		return append(buf, t[:]...)
+	case bool:
+		if t {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	case time.Time:
+		return appendOrderedInt64(buf, t.UnixNano())
+	case bson.D:
+		for _, e := range t {
+			buf = appendEscaped(buf, []byte(e.Key))
+			buf = appendKey(buf, e.Value)
+		}
+		return append(buf, 0) // rank bytes are ≥ 0; terminator sorts shorter docs first
+	case bson.A:
+		for _, e := range t {
+			buf = appendKey(buf, e)
+		}
+		return append(buf, 0)
+	default:
+		return buf
+	}
+}
+
+// appendOrderedFloat encodes a float64 so its bytes sort in numeric order:
+// flip the sign bit for non-negatives, flip all bits for negatives.
+func appendOrderedFloat(buf []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	return binary.BigEndian.AppendUint64(buf, bits)
+}
+
+func appendOrderedInt64(buf []byte, n int64) []byte {
+	return binary.BigEndian.AppendUint64(buf, uint64(n)^(1<<63))
+}
+
+// appendEscaped writes data so that no encoded value is a prefix of another:
+// 0x00 bytes become 0x00 0xFF and the sequence ends with 0x00 0x00.
+func appendEscaped(buf, data []byte) []byte {
+	for _, b := range data {
+		if b == 0 {
+			buf = append(buf, 0, 0xFF)
+		} else {
+			buf = append(buf, b)
+		}
+	}
+	return append(buf, 0, 0)
+}
+
+// idKey returns the primary-index encoding of a document's _id, validating
+// the id is a supported primary-key type.
+func idKey(id any) ([]byte, error) {
+	switch id.(type) {
+	case uuid.ObjectId, string, int32, int64:
+		return EncodeKey(id), nil
+	default:
+		return nil, fmt.Errorf("%w: _id of type %T", ErrBadId, id)
+	}
+}

@@ -1,0 +1,177 @@
+package docstore
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/uuid"
+)
+
+func TestCompareNumbersAcrossTypes(t *testing.T) {
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{int32(1), int64(1), 0},
+		{int32(1), float64(1), 0},
+		{int64(2), float64(2.5), -1},
+		{float64(3), int32(2), 1},
+		{int64(-5), int64(5), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTypeRankOrder(t *testing.T) {
+	// The canonical cross-type order from values.go.
+	ordered := []any{
+		nil,
+		int64(999999),
+		"a string",
+		[]byte{0xff},
+		uuid.NewObjectId(),
+		false,
+		time.Now(),
+		bson.D{{Key: "k", Value: int32(1)}},
+		bson.A{int32(1)},
+	}
+	for i := 0; i < len(ordered)-1; i++ {
+		if got := Compare(ordered[i], ordered[i+1]); got != -1 {
+			t.Errorf("Compare(rank %d, rank %d) = %d, want -1", i, i+1, got)
+		}
+		if got := Compare(ordered[i+1], ordered[i]); got != 1 {
+			t.Errorf("Compare(rank %d, rank %d) = %d, want 1", i+1, i, got)
+		}
+	}
+}
+
+func TestCompareSameType(t *testing.T) {
+	t1 := time.Unix(100, 0)
+	t2 := time.Unix(200, 0)
+	id1, id2 := uuid.NewObjectIdAt(t1), uuid.NewObjectIdAt(t2)
+	cases := []struct {
+		a, b any
+		want int
+	}{
+		{"abc", "abd", -1},
+		{"abc", "abc", 0},
+		{[]byte{1, 2}, []byte{1, 3}, -1},
+		{false, true, -1},
+		{true, true, 0},
+		{t1, t2, -1},
+		{t2, t2, 0},
+		{id1, id2, -1},
+		{nil, nil, 0},
+		{bson.D{{Key: "a", Value: int32(1)}}, bson.D{{Key: "a", Value: int32(2)}}, -1},
+		{bson.D{{Key: "a", Value: int32(1)}}, bson.D{{Key: "b", Value: int32(1)}}, -1},
+		{bson.D{{Key: "a", Value: int32(1)}}, bson.D{{Key: "a", Value: int32(1)}, {Key: "b", Value: int32(1)}}, -1},
+		{bson.A{int32(1)}, bson.A{int32(1), int32(2)}, -1},
+		{bson.A{int32(2)}, bson.A{int32(1), int32(2)}, 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEncodeKeyPreservesOrder(t *testing.T) {
+	values := []any{
+		nil,
+		int64(-1000), int32(-1), float64(-0.5), int32(0), float64(0.5), int64(7), float64(1e9),
+		"", "a", "a\x00b", "a\x00c", "ab", "b",
+		[]byte{}, []byte{0}, []byte{0, 1}, []byte{1},
+		uuid.NewObjectIdAt(time.Unix(1, 0)), uuid.NewObjectIdAt(time.Unix(2, 0)),
+		false, true,
+		time.Unix(0, 5), time.Unix(0, 6),
+		bson.D{{Key: "a", Value: int32(1)}}, bson.D{{Key: "a", Value: int32(2)}},
+		bson.A{int32(1)}, bson.A{int32(2)},
+	}
+	for i := range values {
+		for j := range values {
+			cmp := Compare(values[i], values[j])
+			enc := bytes.Compare(EncodeKey(values[i]), EncodeKey(values[j]))
+			if cmp != enc {
+				t.Errorf("order mismatch between Compare and EncodeKey for (%v, %v): cmp=%d enc=%d",
+					values[i], values[j], cmp, enc)
+			}
+		}
+	}
+}
+
+func TestEncodeKeyOrderPropertyInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		cmp := Compare(a, b)
+		// int64 goes through the int -> int64 normalization in bson; here we
+		// pass int64 directly.
+		enc := bytes.Compare(EncodeKey(a), EncodeKey(b))
+		return cmp == enc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKeyOrderPropertyStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		return Compare(a, b) == bytes.Compare(EncodeKey(a), EncodeKey(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKeyNoPrefixCollisionStrings(t *testing.T) {
+	// "a" must not be a prefix-equal of "a\x00...", the classic terminator bug.
+	a, b := EncodeKey("a"), EncodeKey("a\x00")
+	if bytes.Equal(a, b) {
+		t.Fatal("distinct strings encoded identically")
+	}
+	if bytes.HasPrefix(b, a) {
+		t.Fatal("escaped encoding produced a prefix collision")
+	}
+}
+
+func TestIdKeyTypes(t *testing.T) {
+	for _, good := range []any{uuid.NewObjectId(), "string-id", int32(1), int64(2)} {
+		if _, err := idKey(good); err != nil {
+			t.Errorf("idKey(%T) rejected: %v", good, err)
+		}
+	}
+	for _, bad := range []any{3.14, true, nil, bson.D{}, []byte{1}} {
+		if _, err := idKey(bad); err == nil {
+			t.Errorf("idKey(%T) accepted, want error", bad)
+		}
+	}
+}
+
+func TestLookupPathDotted(t *testing.T) {
+	doc := bson.D{
+		{Key: "meta", Value: bson.D{
+			{Key: "owner", Value: bson.D{{Key: "name", Value: "alice"}}},
+			{Key: "size", Value: int64(42)},
+		}},
+		{Key: "flat", Value: "x"},
+	}
+	if v, ok := lookupPath(doc, "meta.owner.name"); !ok || v != "alice" {
+		t.Errorf("lookupPath(meta.owner.name) = %v, %v", v, ok)
+	}
+	if v, ok := lookupPath(doc, "meta.size"); !ok || v != int64(42) {
+		t.Errorf("lookupPath(meta.size) = %v, %v", v, ok)
+	}
+	if v, ok := lookupPath(doc, "flat"); !ok || v != "x" {
+		t.Errorf("lookupPath(flat) = %v, %v", v, ok)
+	}
+	if _, ok := lookupPath(doc, "meta.absent"); ok {
+		t.Error("lookupPath(meta.absent) found something")
+	}
+	if _, ok := lookupPath(doc, "flat.deeper"); ok {
+		t.Error("lookupPath through a scalar found something")
+	}
+}

@@ -1,0 +1,78 @@
+// Package experiments regenerates every figure in the paper's evaluation
+// section (§6) plus the ablation studies DESIGN.md calls out. Each
+// experiment is a pure function from a Scale to a result struct that knows
+// how to print itself in the shape the paper reports; cmd/mystore-bench and
+// the repository's bench_test.go are thin callers.
+//
+// All three compared systems run against identical simulated hardware
+// (internal/simdisk for storage service time, the MemNetwork LAN model for
+// the wire), so differences come from architecture — the cache tier, the
+// consistent-hash partitioning, the replication protocol — not from host
+// effects. Absolute numbers therefore differ from the paper's testbed;
+// the shapes (who wins, where curves flatten) are the reproduction target.
+package experiments
+
+import (
+	"time"
+)
+
+// Scale sizes an experiment run. The zero value takes defaults matching a
+// laptop-scale but faithful run; Quick shrinks everything for smoke tests
+// and testing.B iterations.
+type Scale struct {
+	// ReadItems is the corpus size for the read experiments (Figs 11-14).
+	ReadItems int
+	// PutItems is the operation count for the put experiments (Figs 15-17).
+	PutItems int
+	// Processes is the client-process sweep for Figs 13-14.
+	Processes []int
+	// StepDuration bounds each measured run (per system or sweep point).
+	StepDuration time.Duration
+	// LoadProcesses is the fixed client concurrency for non-sweep runs.
+	LoadProcesses int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (s Scale) withDefaults() Scale {
+	if s.ReadItems <= 0 {
+		s.ReadItems = 1500
+	}
+	if s.PutItems <= 0 {
+		s.PutItems = 10000
+	}
+	if len(s.Processes) == 0 {
+		s.Processes = []int{25, 50, 100, 200, 400, 800, 1200, 1600, 2000}
+	}
+	if s.StepDuration <= 0 {
+		s.StepDuration = 3 * time.Second
+	}
+	if s.LoadProcesses <= 0 {
+		s.LoadProcesses = 64
+	}
+	if s.Seed == 0 {
+		s.Seed = 20090925 // the paper's acceptance date
+	}
+	return s
+}
+
+// Quick returns a Scale small enough for unit tests and testing.B loops.
+func Quick() Scale {
+	return Scale{
+		ReadItems:     120,
+		PutItems:      300,
+		Processes:     []int{8, 32, 128},
+		StepDuration:  300 * time.Millisecond,
+		LoadProcesses: 16,
+		Seed:          7,
+	}
+}
+
+// Hardware models shared by every system (documented in EXPERIMENTS.md).
+const (
+	lanBase      = 150 * time.Microsecond // per-message LAN overhead
+	lanBandwidth = 110e6                  // gigabit wire, bytes/sec
+	diskSeek     = 100 * time.Microsecond
+	diskBW       = 100e6
+	diskSpindles = 2
+)

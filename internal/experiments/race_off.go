@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled reports whether the build runs under -race.
+const raceDetectorEnabled = false

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+
+	"mystore"
+	"mystore/internal/baseline/fsstore"
+	"mystore/internal/baseline/sqlstore"
+	"mystore/internal/cache"
+	"mystore/internal/faults"
+	"mystore/internal/rest"
+	"mystore/internal/simdisk"
+)
+
+// system is one storage pattern under test, bound to a RESTful interface
+// exactly as the paper binds all three (§6.1).
+type system struct {
+	name    string
+	gateway *rest.Gateway
+	httpSrv *httptest.Server
+	cleanup []func()
+}
+
+func (s *system) URL() string { return s.httpSrv.URL }
+
+func (s *system) Close() {
+	s.httpSrv.Close()
+	s.gateway.Close()
+	for i := len(s.cleanup) - 1; i >= 0; i-- {
+		s.cleanup[i]()
+	}
+}
+
+// newSystem finishes assembly: gateway + HTTP server.
+func newSystem(name string, backend rest.Backend, tier *cache.Tier, cleanup ...func()) *system {
+	gw := rest.NewGateway(backend, rest.Config{
+		Cache:      tier,
+		Workers:    32,
+		QueueDepth: 64,
+	})
+	return &system{
+		name:    name,
+		gateway: gw,
+		httpSrv: httptest.NewServer(gw.Handler()),
+		cleanup: cleanup,
+	}
+}
+
+// wireFaults connects simulated disks and (optionally) a Table 2 injector
+// to a MyStore cluster. The injector rolls once per node-level operation
+// (put / get / hint) at that node, covering all four fault kinds; a node in
+// breakdown is additionally unreachable on the wire, so peers see it fail
+// exactly as a crashed server would.
+func wireFaults(cl *mystore.Cluster, inj *faults.Injector, disks []*simdisk.Disk) {
+	if inj != nil {
+		cl.Network().SetFault(func(from, to, msgType string) error {
+			if inj.IsDown(to) || inj.IsDown(from) {
+				return faults.ErrNodeDown
+			}
+			return nil
+		})
+	}
+	for i, node := range cl.Nodes() {
+		disk := disks[i]
+		addr := node.Addr()
+		node.Coordinator().OnLocalOp = func(op string, bytes int) error {
+			if disk != nil {
+				disk.Access(bytes)
+			}
+			if inj == nil || op == "read-transfer" {
+				return nil
+			}
+			_, err := inj.Roll(addr)
+			return err
+		}
+	}
+}
+
+// newMyStoreSystem boots the full MyStore stack: a 5-node cluster over the
+// simulated LAN, per-node simulated disks, the 4-server cache tier of the
+// paper's deployment, and the REST gateway. inj may be nil (no-fault arm).
+func newMyStoreSystem(inj *faults.Injector) (*system, *mystore.Cluster, error) {
+	cl, err := mystore.StartCluster(mystore.ClusterOptions{
+		Nodes:       5,
+		N:           3,
+		W:           2,
+		R:           1,
+		LatencyBase: lanBase,
+		Bandwidth:   lanBandwidth,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	disks := make([]*simdisk.Disk, 5)
+	for i := range disks {
+		disks[i] = simdisk.New(simdisk.Params{Seek: diskSeek, BytesPerSec: diskBW, Spindles: diskSpindles})
+	}
+	wireFaults(cl, inj, disks)
+	client, err := cl.Client()
+	if err != nil {
+		cl.Close()
+		return nil, nil, err
+	}
+	// Four cache servers (deployed on the four normal DB nodes in Fig 10),
+	// 64 MB each at laptop scale.
+	tier := cache.NewTier(4, 64<<20)
+	sys := newSystem("MyStore", mystore.ClusterBackend{Client: client}, tier,
+		func() { cl.Close() })
+	return sys, cl, nil
+}
+
+// newFSSystem is the ext3 baseline: one file server on one simulated disk,
+// no cache tier, no replication.
+func newFSSystem(dir string) (*system, error) {
+	store, err := newFSBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	return newSystem("ext3-FS", store, nil), nil
+}
+
+type fsBackend struct {
+	inner *fsstore.Store
+	disk  *simdisk.Disk
+}
+
+func newFSBackend(dir string) (*fsBackend, error) {
+	inner, err := fsstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &fsBackend{
+		inner: inner,
+		disk:  simdisk.New(simdisk.Params{Seek: diskSeek, BytesPerSec: diskBW, Spindles: diskSpindles}),
+	}, nil
+}
+
+func (b *fsBackend) Put(ctx context.Context, key string, val []byte) error {
+	b.disk.Access(len(val))
+	return b.inner.Put(ctx, key, val)
+}
+
+func (b *fsBackend) Get(ctx context.Context, key string) ([]byte, error) {
+	val, err := b.inner.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	b.disk.Access(len(val))
+	return val, nil
+}
+
+func (b *fsBackend) Delete(ctx context.Context, key string) error {
+	b.disk.Access(0)
+	return b.inner.Delete(ctx, key)
+}
+
+// newSQLSystem is the MySQL master-slave baseline: a master and two slaves
+// each on a simulated disk; the table write lock is held across the
+// master's disk write and the synchronous slave writes, and reads are
+// served by the master's disk. No cache tier, no partitioning.
+func newSQLSystem() *system {
+	b := newSQLBackend(nil)
+	return newSystem("MySQL-MS", b, nil)
+}
+
+type sqlBackend struct {
+	inner   *sqlstore.Store
+	writeMu sync.Mutex
+	disks   []*simdisk.Disk
+	inj     *faults.Injector
+}
+
+func newSQLBackend(inj *faults.Injector) *sqlBackend {
+	disks := make([]*simdisk.Disk, 3)
+	for i := range disks {
+		disks[i] = simdisk.New(simdisk.Params{Seek: diskSeek, BytesPerSec: diskBW, Spindles: diskSpindles})
+	}
+	return &sqlBackend{inner: sqlstore.New(2), disks: disks, inj: inj}
+}
+
+func (b *sqlBackend) node(i int) string { return fmt.Sprintf("mysql-%d", i) }
+
+func (b *sqlBackend) roll(i int) error {
+	if b.inj == nil {
+		return nil
+	}
+	_, err := b.inj.Roll(b.node(i))
+	return err
+}
+
+func (b *sqlBackend) Put(ctx context.Context, key string, val []byte) error {
+	// The table lock is held across the master write and the synchronous
+	// replication to both slaves.
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	for i := 0; i < 3; i++ {
+		if err := b.roll(i); err != nil {
+			return err
+		}
+		b.disks[i].Access(len(val))
+	}
+	return b.inner.Put(ctx, key, val)
+}
+
+func (b *sqlBackend) Get(ctx context.Context, key string) ([]byte, error) {
+	if err := b.roll(0); err != nil {
+		return nil, err
+	}
+	val, err := b.inner.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	b.disks[0].Access(len(val))
+	return val, nil
+}
+
+func (b *sqlBackend) Delete(ctx context.Context, key string) error {
+	b.writeMu.Lock()
+	defer b.writeMu.Unlock()
+	for i := 0; i < 3; i++ {
+		if err := b.roll(i); err != nil {
+			return err
+		}
+		b.disks[i].Access(0)
+	}
+	return b.inner.Delete(ctx, key)
+}

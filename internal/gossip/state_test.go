@@ -1,0 +1,118 @@
+package gossip
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDigestsBSONRoundTrip(t *testing.T) {
+	in := []digest{
+		{Addr: "10.0.0.1:19870", Generation: 5, MaxVersion: 99},
+		{Addr: "10.0.0.2:19870", Generation: 7, MaxVersion: 1},
+	}
+	out := digestsFromBSON(digestsToBSON(in))
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+	if got := digestsFromBSON("not-an-array"); got != nil {
+		t.Fatalf("bad input should yield nil, got %v", got)
+	}
+}
+
+func TestStatesBSONRoundTrip(t *testing.T) {
+	in := map[string]*EndpointState{
+		"node-a": {
+			Generation: 11,
+			Heartbeat:  40,
+			States: map[string]VersionedValue{
+				"load":   {Value: "0.7", Version: 12},
+				"weight": {Value: "2", Version: 3},
+			},
+		},
+		"node-b": {
+			Generation: 2,
+			Heartbeat:  5,
+			States:     map[string]VersionedValue{},
+		},
+	}
+	out := statesFromBSON(statesToBSON(in))
+	if len(out) != 2 {
+		t.Fatalf("decoded %d endpoints", len(out))
+	}
+	for addr, want := range in {
+		got, ok := out[addr]
+		if !ok {
+			t.Fatalf("missing %s", addr)
+		}
+		if got.Generation != want.Generation || got.Heartbeat != want.Heartbeat {
+			t.Fatalf("%s header mismatch: %+v vs %+v", addr, got, want)
+		}
+		if !reflect.DeepEqual(got.States, want.States) {
+			t.Fatalf("%s states mismatch: %v vs %v", addr, got.States, want.States)
+		}
+	}
+	if got := statesFromBSON(42); got != nil {
+		t.Fatalf("bad input should yield nil, got %v", got)
+	}
+}
+
+func TestMaxVersion(t *testing.T) {
+	es := &EndpointState{
+		Generation: 1,
+		Heartbeat:  10,
+		States: map[string]VersionedValue{
+			"a": {Value: "x", Version: 25},
+			"b": {Value: "y", Version: 7},
+		},
+	}
+	if got := es.maxVersion(); got != 25 {
+		t.Fatalf("maxVersion = %d, want 25", got)
+	}
+	es.States = nil
+	if got := es.maxVersion(); got != 10 {
+		t.Fatalf("maxVersion with no states = %d, want heartbeat 10", got)
+	}
+}
+
+func TestNewerThan(t *testing.T) {
+	es := &EndpointState{Generation: 5, Heartbeat: 10, States: map[string]VersionedValue{}}
+	cases := []struct {
+		gen, ver int64
+		want     bool
+	}{
+		{4, 100, true}, // newer generation always wins
+		{5, 9, true},   // same generation, higher version
+		{5, 10, false}, // identical
+		{5, 11, false}, // remote ahead
+		{6, 0, false},  // remote generation ahead
+	}
+	for _, c := range cases {
+		if got := es.newerThan(c.gen, c.ver); got != c.want {
+			t.Errorf("newerThan(%d, %d) = %v, want %v", c.gen, c.ver, got, c.want)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	es := &EndpointState{
+		Generation: 1, Heartbeat: 2,
+		States: map[string]VersionedValue{"k": {Value: "v", Version: 3}},
+	}
+	c := es.clone()
+	c.States["k"] = VersionedValue{Value: "changed", Version: 9}
+	c.Heartbeat = 99
+	if es.States["k"].Value != "v" || es.Heartbeat != 2 {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestRemovedKeyRoundTrip(t *testing.T) {
+	key := removedKey("10.0.0.5:19870")
+	subject, ok := removedSubject(key)
+	if !ok || subject != "10.0.0.5:19870" {
+		t.Fatalf("removedSubject(%q) = %q, %v", key, subject, ok)
+	}
+	if _, ok := removedSubject("load"); ok {
+		t.Fatal("ordinary key parsed as removal")
+	}
+}

@@ -1,0 +1,248 @@
+// Package metrics provides the measurement primitives the evaluation harness
+// uses to reproduce the paper's figures: latency histograms with percentile
+// extraction (TTFB/TTLB), throughput and request-rate counters, and
+// time-series samplers for the Put-success-over-time experiment (Fig 16).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations and extracts order statistics. It keeps exact
+// samples (the experiments record at most a few hundred thousand operations),
+// guarded by a mutex so load-generator goroutines can record concurrently.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+func (h *Histogram) sortLocked() {
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-th (0 ≤ q ≤ 1) order statistic, or zero when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	idx := int(q * float64(len(h.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Mean returns the arithmetic mean of the samples, or zero when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range h.samples {
+		total += s
+	}
+	return total / time.Duration(len(h.samples))
+}
+
+// Min returns the smallest sample, or zero when empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[0]
+}
+
+// Max returns the largest sample, or zero when empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.sortLocked()
+	return h.samples[len(h.samples)-1]
+}
+
+// Stddev returns the sample standard deviation, or zero for fewer than two
+// samples.
+func (h *Histogram) Stddev() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	var mean float64
+	for _, s := range h.samples {
+		mean += float64(s)
+	}
+	mean /= float64(n)
+	var variance float64
+	for _, s := range h.samples {
+		d := float64(s) - mean
+		variance += d * d
+	}
+	variance /= float64(n - 1)
+	return time.Duration(math.Sqrt(variance))
+}
+
+// Samples returns a copy of the recorded samples in insertion order is not
+// guaranteed; callers treating them as a distribution must not rely on order.
+func (h *Histogram) Samples() []time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]time.Duration, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// CumulativeWithin returns how many samples are ≤ each of the given
+// thresholds. This is the statistic Fig 17 plots: "the sum of all the Put
+// operations whose consuming time is less than the consuming time specified
+// by the horizontal axis".
+func (h *Histogram) CumulativeWithin(thresholds []time.Duration) []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sortLocked()
+	out := make([]int, len(thresholds))
+	for i, t := range thresholds {
+		out[i] = sort.Search(len(h.samples), func(j int) bool { return h.samples[j] > t })
+	}
+	return out
+}
+
+// Counter is a concurrency-safe monotonically increasing counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) {
+	c.mu.Lock()
+	c.n += delta
+	c.mu.Unlock()
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Throughput summarizes a timed run: bytes moved, operations completed and
+// the wall-clock window, from which it derives MB/s and requests per second.
+type Throughput struct {
+	Bytes   int64
+	Ops     int64
+	Errors  int64
+	Elapsed time.Duration
+}
+
+// MBPerSec returns megabytes per second (decimal MB, as the paper reports).
+func (t Throughput) MBPerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Bytes) / 1e6 / t.Elapsed.Seconds()
+}
+
+// RPS returns successful requests per second.
+func (t Throughput) RPS() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Ops) / t.Elapsed.Seconds()
+}
+
+// String renders the summary in the units the paper's figures use.
+func (t Throughput) String() string {
+	return fmt.Sprintf("%.2f MB/s, %.1f req/s (%d ops, %d errors, %s)",
+		t.MBPerSec(), t.RPS(), t.Ops, t.Errors, t.Elapsed.Round(time.Millisecond))
+}
+
+// TimeSeries accumulates per-bucket counts over elapsed time, used for the
+// "successful hits per second" plot (Fig 16).
+type TimeSeries struct {
+	mu     sync.Mutex
+	start  time.Time
+	bucket time.Duration
+	counts []int64
+}
+
+// NewTimeSeries starts a series at now with the given bucket width.
+func NewTimeSeries(now time.Time, bucket time.Duration) *TimeSeries {
+	if bucket <= 0 {
+		bucket = time.Second
+	}
+	return &TimeSeries{start: now, bucket: bucket}
+}
+
+// Record adds one event at time at.
+func (ts *TimeSeries) Record(at time.Time) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	idx := int(at.Sub(ts.start) / ts.bucket)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(ts.counts) <= idx {
+		ts.counts = append(ts.counts, 0)
+	}
+	ts.counts[idx]++
+}
+
+// Buckets returns a copy of the per-bucket counts.
+func (ts *TimeSeries) Buckets() []int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]int64, len(ts.counts))
+	copy(out, ts.counts)
+	return out
+}
+
+// BucketWidth returns the configured bucket width.
+func (ts *TimeSeries) BucketWidth() time.Duration { return ts.bucket }

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 100; i >= 1; i-- { // insert descending to exercise sorting
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("Count = %d, want 100", got)
+	}
+	if got := h.Min(); got != time.Millisecond {
+		t.Errorf("Min = %v, want 1ms", got)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v, want 100ms", got)
+	}
+	if got := h.Quantile(0.5); got < 49*time.Millisecond || got > 52*time.Millisecond {
+		t.Errorf("median = %v, want ~50ms", got)
+	}
+	if got := h.Quantile(0); got != time.Millisecond {
+		t.Errorf("q0 = %v, want 1ms", got)
+	}
+	if got := h.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("q1 = %v, want 100ms", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 || h.Stddev() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramMeanStddev(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Errorf("Mean = %v, want 20ms", got)
+	}
+	if got := h.Stddev(); got != 10*time.Millisecond {
+		t.Errorf("Stddev = %v, want 10ms", got)
+	}
+}
+
+func TestHistogramCumulativeWithin(t *testing.T) {
+	h := NewHistogram()
+	for _, ms := range []int{5, 10, 15, 20, 25} {
+		h.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	got := h.CumulativeWithin([]time.Duration{
+		time.Millisecond, 10 * time.Millisecond, 17 * time.Millisecond, time.Second,
+	})
+	want := []int{0, 2, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CumulativeWithin[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		h := NewHistogram()
+		for _, r := range raw {
+			h.Observe(time.Duration(r) * time.Microsecond)
+		}
+		ths := []time.Duration{0, time.Microsecond, 100 * time.Microsecond,
+			10 * time.Millisecond, 100 * time.Millisecond}
+		counts := h.CumulativeWithin(ths)
+		prev := -1
+		for _, c := range counts {
+			if c < prev || c > len(raw) {
+				return false
+			}
+			prev = c
+		}
+		return counts[len(counts)-1] == len(raw) // all uint16 µs fit under 100ms
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("Count = %d, want 8000", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 10; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 1000 {
+		t.Fatalf("Counter = %d, want 1000", got)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Bytes: 10e6, Ops: 500, Elapsed: 2 * time.Second}
+	if got := tp.MBPerSec(); got != 5 {
+		t.Errorf("MBPerSec = %v, want 5", got)
+	}
+	if got := tp.RPS(); got != 250 {
+		t.Errorf("RPS = %v, want 250", got)
+	}
+	zero := Throughput{}
+	if zero.MBPerSec() != 0 || zero.RPS() != 0 {
+		t.Error("zero-elapsed throughput should report 0")
+	}
+	if s := tp.String(); s == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	start := time.Date(2026, 7, 4, 0, 0, 0, 0, time.UTC)
+	ts := NewTimeSeries(start, time.Second)
+	ts.Record(start)
+	ts.Record(start.Add(200 * time.Millisecond))
+	ts.Record(start.Add(1500 * time.Millisecond))
+	ts.Record(start.Add(3 * time.Second))
+	got := ts.Buckets()
+	want := []int64{2, 1, 0, 1}
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if ts.BucketWidth() != time.Second {
+		t.Errorf("BucketWidth = %v, want 1s", ts.BucketWidth())
+	}
+}
+
+func TestTimeSeriesBeforeStartClamps(t *testing.T) {
+	start := time.Now()
+	ts := NewTimeSeries(start, time.Second)
+	ts.Record(start.Add(-5 * time.Second))
+	if got := ts.Buckets(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("record before start: buckets = %v, want [1]", got)
+	}
+}
+
+func TestTimeSeriesZeroBucketDefaults(t *testing.T) {
+	ts := NewTimeSeries(time.Now(), 0)
+	if ts.BucketWidth() != time.Second {
+		t.Fatalf("zero bucket width should default to 1s, got %v", ts.BucketWidth())
+	}
+}

@@ -1,0 +1,594 @@
+package nwr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/docstore"
+	"mystore/internal/ring"
+	"mystore/internal/transport"
+)
+
+// Message types the coordinator registers on the node's transport mux.
+const (
+	MsgPutReplica = "nwr.put.replica"
+	MsgGetReplica = "nwr.get.replica"
+	MsgHintStore  = "nwr.hint.store"
+	MsgPing       = "nwr.ping"
+)
+
+// Config is the paper's (N, W, R) plus operational knobs.
+type Config struct {
+	// N is the replication factor; W and R the write and read quorums.
+	// The paper's evaluation runs (3, 2, 1).
+	N, W, R int
+	// Retries is how many additional attempts a failed replica write gets
+	// before the coordinator hands the data off as a hint ("try to write
+	// several times", §5.1). Zero means 2.
+	Retries int
+	// CallTimeout bounds each replica RPC. Zero means 2s.
+	CallTimeout time.Duration
+	// DisableHints turns hinted handoff off: a replica that stays
+	// unreachable after retries simply fails. Used by the ablation bench
+	// that measures what the short-failure path is worth.
+	DisableHints bool
+	// Now overrides the clock (deterministic tests). Nil means time.Now.
+	Now func() time.Time
+}
+
+// Validate checks quorum sanity.
+func (c Config) Validate() error {
+	if c.N < 1 {
+		return errors.New("nwr: N must be >= 1")
+	}
+	if c.W < 1 || c.W > c.N {
+		return fmt.Errorf("nwr: W=%d out of range [1,%d]", c.W, c.N)
+	}
+	if c.R < 1 || c.R > c.N {
+		return fmt.Errorf("nwr: R=%d out of range [1,%d]", c.R, c.N)
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Errors returned by coordinator operations.
+var (
+	ErrQuorumWrite = errors.New("nwr: write quorum not reached")
+	ErrQuorumRead  = errors.New("nwr: read quorum not reached")
+	ErrNotFound    = errors.New("nwr: key not found")
+)
+
+// Stats counts coordinator activity.
+type Stats struct {
+	Puts, PutFailures    int64
+	Gets, GetFailures    int64
+	HintsStored          int64
+	HintsDelivered       int64
+	ReadRepairs          int64
+	ReplicaSupplements   int64
+	RetriedReplicaWrites int64
+}
+
+// Coordinator runs the NWR protocol for one node. It is safe for concurrent
+// use.
+type Coordinator struct {
+	cfg   Config
+	self  string
+	ring  *ring.Ring
+	tr    transport.Transport
+	store *docstore.Store
+
+	// Live reports whether a peer is currently believed reachable; the
+	// cluster layer wires this to gossip. Nil means "assume live".
+	Live func(addr string) bool
+	// OnLocalOp, when non-nil, runs before every local store operation
+	// with the operation kind and the payload size involved. The
+	// failure-injection framework uses it to model disk I/O errors and
+	// blocking on this node; the benchmark harness charges simulated disk
+	// time through it. A returned error fails the local operation.
+	OnLocalOp func(op string, bytes int) error
+
+	mu      sync.Mutex
+	stats   Stats
+	lastVer int64
+}
+
+// NewCoordinator wires a coordinator. The store gains a unique index on
+// self-key in the records collection and is otherwise used as-is.
+func NewCoordinator(cfg Config, self string, rg *ring.Ring, tr transport.Transport, store *docstore.Store) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg, self: self, ring: rg, tr: tr, store: store}
+	if err := store.C(RecordCollection).EnsureIndex("self-key", true); err != nil {
+		return nil, err
+	}
+	if err := store.C(HintCollection).EnsureIndex("target", false); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Stats returns a snapshot of activity counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+func (c *Coordinator) bump(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// nextVer assigns a write version: the wall clock, forced strictly
+// monotonic per coordinator. Distinct writes therefore never share a
+// (Ver, Origin) pair — the uniqueness last-write-wins needs to be a total
+// order even when the clock is coarse or steps backwards.
+func (c *Coordinator) nextVer() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := c.cfg.Now().UnixNano()
+	if v <= c.lastVer {
+		v = c.lastVer + 1
+	}
+	c.lastVer = v
+	return v
+}
+
+// Put writes val under key with the configured write quorum. The paper's
+// DELETE maps to Put with deleted=true: "just update the flag and not
+// physically remove the record from disk".
+func (c *Coordinator) Put(ctx context.Context, key string, val []byte) error {
+	return c.write(ctx, Record{Key: key, Val: val, IsData: true, Ver: c.nextVer(), Origin: c.self})
+}
+
+// Delete tombstones key with the write quorum.
+func (c *Coordinator) Delete(ctx context.Context, key string) error {
+	return c.write(ctx, Record{Key: key, IsData: true, Deleted: true, Ver: c.nextVer(), Origin: c.self})
+}
+
+// write replicates rec to the key's N replica nodes concurrently and
+// returns as soon as W replicas acknowledge (the Dynamo-style quorum return
+// that makes "W = 1 ... low writing latency" true, §5.2.2); the remaining
+// replications continue in the background. A replica that stays unreachable
+// after retries receives a hint on the next ring node, which counts toward
+// the sloppy quorum ("if one node fails, the system writes to the next node
+// on the ring, makes each writing success").
+func (c *Coordinator) write(ctx context.Context, rec Record) error {
+	targets, err := c.ring.Successors(rec.Key, c.cfg.N)
+	if err != nil {
+		return err
+	}
+	acksCh := make(chan bool, len(targets))
+	for _, target := range targets {
+		go func(target string) {
+			acksCh <- c.writeReplicaWithRecovery(ctx, targets, target, rec)
+		}(target)
+	}
+	acks := 0
+	for done := 0; done < len(targets); done++ {
+		if <-acksCh {
+			acks++
+		}
+		if acks >= c.cfg.W {
+			// Quorum reached; the rest complete asynchronously.
+			c.bump(func(s *Stats) { s.Puts++ })
+			return nil
+		}
+	}
+	c.bump(func(s *Stats) { s.PutFailures++ })
+	return fmt.Errorf("%w: %d/%d acks for key %q", ErrQuorumWrite, acks, c.cfg.W, rec.Key)
+}
+
+// writeReplicaWithRecovery drives one replica write through its retry and
+// hinted-handoff ladder, reporting whether the write was durably handled
+// somewhere.
+func (c *Coordinator) writeReplicaWithRecovery(ctx context.Context, targets []string, target string, rec Record) bool {
+	if c.writeReplica(ctx, target, rec) {
+		return true
+	}
+	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		c.bump(func(s *Stats) { s.RetriedReplicaWrites++ })
+		if c.writeReplica(ctx, target, rec) {
+			return true
+		}
+	}
+	if c.cfg.DisableHints {
+		return false
+	}
+	return c.storeHint(ctx, targets, target, rec)
+}
+
+// WriteReplicaTo applies rec on target (locally or over the wire),
+// reporting success. The cluster rebalancer uses it to push replicas during
+// migration and re-replication.
+func (c *Coordinator) WriteReplicaTo(ctx context.Context, target string, rec Record) bool {
+	return c.writeReplica(ctx, target, rec)
+}
+
+// ReadReplicaFrom fetches key's record from target (locally or remotely).
+func (c *Coordinator) ReadReplicaFrom(ctx context.Context, target, key string) (Record, bool, error) {
+	return c.readReplica(ctx, target, key)
+}
+
+// writeReplica applies rec on target (locally or over the wire).
+func (c *Coordinator) writeReplica(ctx context.Context, target string, rec Record) bool {
+	if target == c.self {
+		return c.ApplyLocal(rec) == nil
+	}
+	if c.Live != nil && !c.Live(target) {
+		return false
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	_, err := c.tr.Call(cctx, target, transport.Message{Type: MsgPutReplica, Body: rec.ToDoc()})
+	return err == nil
+}
+
+// storeHint parks rec on the first live node after the replica set,
+// recording the intended target for later writeback (Fig 8: node C holds
+// the replica and B's identifier).
+func (c *Coordinator) storeHint(ctx context.Context, replicaSet []string, target string, rec Record) bool {
+	exclude := make(map[string]bool, len(replicaSet)+1)
+	for _, t := range replicaSet {
+		exclude[t] = true
+	}
+	// Walk well beyond the replica set to find a stand-in.
+	candidates, err := c.ring.Successors(rec.Key, c.cfg.N+len(exclude)+8)
+	if err != nil {
+		return false
+	}
+	body := bson.D{
+		{Key: "target", Value: target},
+		{Key: "record", Value: rec.ToDoc()},
+	}
+	for _, cand := range candidates {
+		if exclude[cand] {
+			continue
+		}
+		if cand == c.self {
+			if err := c.storeHintLocal(target, rec); err == nil {
+				c.bump(func(s *Stats) { s.HintsStored++ })
+				return true
+			}
+			continue
+		}
+		if c.Live != nil && !c.Live(cand) {
+			continue
+		}
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+		_, err := c.tr.Call(cctx, cand, transport.Message{Type: MsgHintStore, Body: body})
+		cancel()
+		if err == nil {
+			c.bump(func(s *Stats) { s.HintsStored++ })
+			return true
+		}
+	}
+	return false
+}
+
+// Get reads key with the read quorum: query every replica, demand at least
+// R answers, resolve last-write-wins, then repair stale or missing replicas
+// ("if replications are less than N ... some more replications are
+// supplemented", §5.2.2).
+func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, error) {
+	targets, err := c.ring.Successors(key, c.cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	type answer struct {
+		rec   Record
+		found bool
+		ok    bool // replica responded at all
+	}
+	answers := make([]answer, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			rec, found, err := c.readReplica(ctx, target, key)
+			answers[i] = answer{rec: rec, found: found, ok: err == nil}
+		}(i, target)
+	}
+	wg.Wait()
+
+	responded := 0
+	var newest Record
+	haveNewest := false
+	for _, a := range answers {
+		if !a.ok {
+			continue
+		}
+		responded++
+		if a.found && (!haveNewest || a.rec.Newer(newest)) {
+			newest = a.rec
+			haveNewest = true
+		}
+	}
+	if responded < c.cfg.R {
+		c.bump(func(s *Stats) { s.GetFailures++ })
+		return nil, fmt.Errorf("%w: %d/%d replicas answered for key %q", ErrQuorumRead, responded, c.cfg.R, key)
+	}
+	c.bump(func(s *Stats) { s.Gets++ })
+
+	if haveNewest {
+		// Read repair / replica supplementation for responders that missed
+		// the newest version.
+		for i, a := range answers {
+			if !a.ok {
+				continue
+			}
+			stale := !a.found || newest.Newer(a.rec)
+			if stale {
+				if c.writeReplica(ctx, targets[i], newest) {
+					if a.found {
+						c.bump(func(s *Stats) { s.ReadRepairs++ })
+					} else {
+						c.bump(func(s *Stats) { s.ReplicaSupplements++ })
+					}
+				}
+			}
+		}
+	}
+	if !haveNewest || newest.Deleted {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	return newest.Val, nil
+}
+
+// readReplica fetches key's record from target.
+func (c *Coordinator) readReplica(ctx context.Context, target, key string) (Record, bool, error) {
+	if target == c.self {
+		return c.GetLocal(key)
+	}
+	if c.Live != nil && !c.Live(target) {
+		return Record{}, false, fmt.Errorf("nwr: %s believed down", target)
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.tr.Call(cctx, target, transport.Message{Type: MsgGetReplica,
+		Body: bson.D{{Key: "self-key", Value: key}}})
+	if err != nil {
+		return Record{}, false, err
+	}
+	if found, ok := resp.Get("found"); !ok || found != true {
+		return Record{}, false, nil
+	}
+	recDoc, ok := resp.Get("record")
+	d, isDoc := recDoc.(bson.D)
+	if !ok || !isDoc {
+		return Record{}, false, errors.New("nwr: malformed replica response")
+	}
+	rec, err := RecordFromDoc(d)
+	if err != nil {
+		return Record{}, false, err
+	}
+	return rec, true, nil
+}
+
+// ApplyLocal merges rec into this node's store under last-write-wins.
+func (c *Coordinator) ApplyLocal(rec Record) error {
+	if c.OnLocalOp != nil {
+		if err := c.OnLocalOp("put", len(rec.Val)); err != nil {
+			return err
+		}
+	}
+	coll := c.store.C(RecordCollection)
+	existing, found, err := coll.FindOne(docstore.Filter{{Key: "self-key", Value: rec.Key}})
+	if err != nil {
+		return err
+	}
+	if !found {
+		_, err := coll.Insert(rec.WithId(c.cfg.Now()))
+		if errors.Is(err, docstore.ErrDuplicate) {
+			// Raced with another writer for first materialization; retry as
+			// an update through the now-existing row.
+			return c.ApplyLocal(rec)
+		}
+		return err
+	}
+	old, err := RecordFromDoc(existing)
+	if err != nil {
+		return err
+	}
+	if !rec.Newer(old) {
+		return nil // stale write; last write wins
+	}
+	id, _ := existing.Get("_id")
+	doc := append(bson.D{{Key: "_id", Value: id}}, rec.ToDoc()...)
+	return coll.Update(doc)
+}
+
+// GetLocal reads key's record from this node's store.
+func (c *Coordinator) GetLocal(key string) (Record, bool, error) {
+	if c.OnLocalOp != nil {
+		if err := c.OnLocalOp("get", 0); err != nil {
+			return Record{}, false, err
+		}
+	}
+	doc, found, err := c.store.C(RecordCollection).FindOne(docstore.Filter{{Key: "self-key", Value: key}})
+	if err != nil || !found {
+		return Record{}, false, err
+	}
+	rec, err := RecordFromDoc(doc)
+	if err != nil {
+		return Record{}, false, err
+	}
+	// Charge the read transfer now that the size is known.
+	if c.OnLocalOp != nil {
+		if err := c.OnLocalOp("read-transfer", len(rec.Val)); err != nil {
+			return Record{}, false, err
+		}
+	}
+	return rec, true, nil
+}
+
+// storeHintLocal parks a hint on this node.
+func (c *Coordinator) storeHintLocal(target string, rec Record) error {
+	if c.OnLocalOp != nil {
+		if err := c.OnLocalOp("hint", len(rec.Val)); err != nil {
+			return err
+		}
+	}
+	_, err := c.store.C(HintCollection).Insert(bson.D{
+		{Key: "target", Value: target},
+		{Key: "record", Value: rec.ToDoc()},
+	})
+	return err
+}
+
+// PurgeTombstones physically removes tombstoned records whose deletion is
+// older than cutoff, returning how many were purged. The paper's DELETE
+// only flips isDel ("not physically remove the record from disk"), so
+// tombstones accumulate; purging ones old enough that every replica has
+// long since seen them (hint writeback, read repair and anti-entropy all
+// propagate tombstones) reclaims the space. Choose a cutoff comfortably
+// larger than the longest plausible partition.
+func (c *Coordinator) PurgeTombstones(cutoff time.Time) (int, error) {
+	coll := c.store.C(RecordCollection)
+	docs, err := coll.Find(docstore.Filter{
+		{Key: "isDel", Value: "1"},
+		{Key: "_ver", Value: bson.D{{Key: "$lt", Value: cutoff.UnixNano()}}},
+	}, docstore.FindOptions{})
+	if err != nil {
+		return 0, err
+	}
+	purged := 0
+	for _, doc := range docs {
+		id, ok := doc.Get("_id")
+		if !ok {
+			continue
+		}
+		removed, err := coll.Delete(id)
+		if err != nil {
+			return purged, err
+		}
+		if removed {
+			purged++
+		}
+	}
+	return purged, nil
+}
+
+// HintCount returns the number of hints currently parked on this node.
+func (c *Coordinator) HintCount() int {
+	return c.store.C(HintCollection).Len()
+}
+
+// DeliverHints pings each hinted target and, where it answers, writes the
+// parked record back and drops the hint (Fig 8's writeback). Call it
+// periodically and when gossip reports a node returning.
+func (c *Coordinator) DeliverHints(ctx context.Context) {
+	hints, err := c.store.C(HintCollection).Find(docstore.Filter{}, docstore.FindOptions{})
+	if err != nil {
+		return
+	}
+	reachable := map[string]bool{}
+	for _, h := range hints {
+		target := h.StringOr("target", "")
+		if target == "" {
+			continue
+		}
+		alive, checked := reachable[target]
+		if !checked {
+			alive = c.pingTarget(ctx, target)
+			reachable[target] = alive
+		}
+		if !alive {
+			continue
+		}
+		recDoc, ok := h.Get("record")
+		d, isDoc := recDoc.(bson.D)
+		if !ok || !isDoc {
+			continue
+		}
+		rec, err := RecordFromDoc(d)
+		if err != nil {
+			continue
+		}
+		if c.writeReplica(ctx, target, rec) {
+			id, _ := h.Get("_id")
+			if _, err := c.store.C(HintCollection).Delete(id); err == nil {
+				c.bump(func(s *Stats) { s.HintsDelivered++ })
+			}
+		}
+	}
+}
+
+func (c *Coordinator) pingTarget(ctx context.Context, target string) bool {
+	if target == c.self {
+		return true
+	}
+	if c.Live != nil && !c.Live(target) {
+		return false
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	_, err := c.tr.Call(cctx, target, transport.Message{Type: MsgPing})
+	return err == nil
+}
+
+// HandleMessage serves the replica-side protocol; the cluster mux routes
+// nwr.* messages here.
+func (c *Coordinator) HandleMessage(_ context.Context, msg transport.Message) (bson.D, error) {
+	switch msg.Type {
+	case MsgPutReplica:
+		rec, err := RecordFromDoc(msg.Body)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.ApplyLocal(rec); err != nil {
+			return nil, err
+		}
+		return bson.D{{Key: "ok", Value: true}}, nil
+	case MsgGetReplica:
+		key := msg.Body.StringOr("self-key", "")
+		rec, found, err := c.GetLocal(key)
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			return bson.D{{Key: "found", Value: false}}, nil
+		}
+		return bson.D{{Key: "found", Value: true}, {Key: "record", Value: rec.ToDoc()}}, nil
+	case MsgHintStore:
+		target := msg.Body.StringOr("target", "")
+		recDoc, ok := msg.Body.Get("record")
+		d, isDoc := recDoc.(bson.D)
+		if !ok || !isDoc || target == "" {
+			return nil, errors.New("nwr: malformed hint")
+		}
+		rec, err := RecordFromDoc(d)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.storeHintLocal(target, rec); err != nil {
+			return nil, err
+		}
+		return bson.D{{Key: "ok", Value: true}}, nil
+	case MsgPing:
+		return bson.D{{Key: "ok", Value: true}}, nil
+	default:
+		return nil, fmt.Errorf("nwr: unknown message type %q", msg.Type)
+	}
+}

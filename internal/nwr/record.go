@@ -1,0 +1,95 @@
+// Package nwr implements MyStore's quorum replication (paper §5.2.2): each
+// record is replicated to the N distinct physical nodes that follow its key
+// on the consistent-hash ring; a Put succeeds once W replicas acknowledge
+// and a Get once R replicas answer. Writes that cannot reach a replica are
+// handed to the next node on the ring as a hint (short-failure handling,
+// §5.2.4 Fig 8) and written back when the replica returns. Reads collect
+// every reachable replica, resolve conflicts last-write-wins, repair stale
+// replicas and re-supplement missing ones.
+package nwr
+
+import (
+	"fmt"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/uuid"
+)
+
+// RecordCollection is the docstore collection replicas live in; HintCollection
+// holds records parked for unreachable replicas.
+const (
+	RecordCollection = "records"
+	HintCollection   = "hints"
+)
+
+// Record is the paper's five-field storage unit plus the version metadata
+// last-write-wins needs. The _id private key is assigned at first local
+// materialization; self-key is the user key records are read by.
+type Record struct {
+	Key     string // self-key
+	Val     []byte // val: the data entity
+	IsData  bool   // isData: false marks a copy made by internal movement
+	Deleted bool   // isDel: tombstone flag; deletes never remove the row
+	Ver     int64  // _ver: origin timestamp (ns) for last-write-wins
+	Origin  string // _origin: coordinator address, tiebreak for equal Ver
+}
+
+// Newer reports whether r should supersede other under last-write-wins.
+func (r Record) Newer(other Record) bool {
+	if r.Ver != other.Ver {
+		return r.Ver > other.Ver
+	}
+	return r.Origin > other.Origin
+}
+
+// ToDoc renders the record as the paper's BSON document shape.
+func (r Record) ToDoc() bson.D {
+	return bson.D{
+		{Key: "self-key", Value: r.Key},
+		{Key: "val", Value: r.Val},
+		{Key: "isData", Value: boolFlag(r.IsData)},
+		{Key: "isDel", Value: boolFlag(r.Deleted)},
+		{Key: "_ver", Value: r.Ver},
+		{Key: "_origin", Value: r.Origin},
+	}
+}
+
+// WithId returns ToDoc prefixed with a fresh ObjectId _id, for insertion.
+func (r Record) WithId(at time.Time) bson.D {
+	return append(bson.D{{Key: "_id", Value: uuid.NewObjectIdAt(at)}}, r.ToDoc()...)
+}
+
+func boolFlag(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// RecordFromDoc parses a stored or wire document into a Record.
+func RecordFromDoc(d bson.D) (Record, error) {
+	r := Record{}
+	r.Key = d.StringOr("self-key", "")
+	if r.Key == "" {
+		return r, fmt.Errorf("nwr: document missing self-key: %s", d)
+	}
+	if v, ok := d.Get("val"); ok {
+		b, isBytes := v.([]byte)
+		if !isBytes {
+			return r, fmt.Errorf("nwr: val is %T, want binary", v)
+		}
+		r.Val = b
+	}
+	r.IsData = d.StringOr("isData", "1") == "1"
+	r.Deleted = d.StringOr("isDel", "0") == "1"
+	if v, ok := d.Get("_ver"); ok {
+		ver, isInt := v.(int64)
+		if !isInt {
+			return r, fmt.Errorf("nwr: _ver is %T, want int64", v)
+		}
+		r.Ver = ver
+	}
+	r.Origin = d.StringOr("_origin", "")
+	return r, nil
+}

@@ -1,0 +1,265 @@
+// Package rest implements MyStore's user interface module (paper §4): a
+// RESTful gateway exposing GET/POST/DELETE over unstructured data, with the
+// cache module consulted before the storage cluster, requests distributed
+// round-robin over a pool of logical workers (the Nginx + spawn-fcgi
+// analogue), and optional URI-signature authentication.
+//
+// The gateway fronts any Backend, which is how the evaluation binds the
+// ext3-filesystem and MySQL-master/slave baselines to "the same RESTful
+// interfaces" for the Fig 11/12 comparisons.
+package rest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"mystore/internal/auth"
+	"mystore/internal/cache"
+	"mystore/internal/dispatch"
+	"mystore/internal/uuid"
+)
+
+// Backend is a key-value store the gateway fronts.
+type Backend interface {
+	Put(ctx context.Context, key string, val []byte) error
+	Get(ctx context.Context, key string) ([]byte, error)
+	Delete(ctx context.Context, key string) error
+}
+
+// ErrNotFound must be returned (or wrapped) by Backend.Get for absent keys
+// so the gateway can answer 404.
+var ErrNotFound = errors.New("rest: key not found")
+
+// Config tunes a Gateway.
+type Config struct {
+	// Cache, when non-nil, is consulted before the backend on GET and
+	// updated on reads, writes and deletes.
+	Cache *cache.Tier
+	// Auth, when non-nil, requires every /data request to carry a valid
+	// token + signature (paper Fig 2).
+	Auth *auth.TokenDB
+	// Workers sizes the logical-process pool (default 8).
+	Workers int
+	// QueueDepth bounds each worker's backlog (default 64).
+	QueueDepth int
+	// MaxBodyBytes bounds uploads (default 16 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	return c
+}
+
+// Stats counts gateway activity.
+type Stats struct {
+	Requests, CacheHits, CacheMisses int64
+	Errors                           int64
+}
+
+// Gateway is the HTTP front end.
+type Gateway struct {
+	cfg     Config
+	backend Backend
+	pool    *dispatch.Pool
+
+	requests, cacheHits, cacheMisses, errs atomic.Int64
+}
+
+// NewGateway builds a gateway over backend.
+func NewGateway(backend Backend, cfg Config) *Gateway {
+	cfg = cfg.withDefaults()
+	return &Gateway{
+		cfg:     cfg,
+		backend: backend,
+		pool:    dispatch.NewPool(cfg.Workers, cfg.QueueDepth),
+	}
+}
+
+// Close stops the worker pool.
+func (g *Gateway) Close() { g.pool.Close() }
+
+// Stats returns a snapshot.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Requests:    g.requests.Load(),
+		CacheHits:   g.cacheHits.Load(),
+		CacheMisses: g.cacheMisses.Load(),
+		Errors:      g.errs.Load(),
+	}
+}
+
+// Handler returns the gateway's HTTP handler:
+//
+//	GET    /data/{key}   retrieve
+//	POST   /data/{key}   create or update (body = value)
+//	POST   /data/        create with a generated key; returns the key
+//	DELETE /data/{key}   delete
+//	GET    /token?user=u issue a request token (when auth is enabled)
+//	GET    /stats        gateway counters as JSON (unauthenticated)
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/data/", g.handleData)
+	mux.HandleFunc("/token", g.handleToken)
+	mux.HandleFunc("/stats", g.handleStats)
+	return mux
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := g.Stats()
+	ps := g.pool.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"requests":%d,"cacheHits":%d,"cacheMisses":%d,"errors":%d,`+
+		`"workers":%d,"dispatched":%d,"completed":%d,"failed":%d}`,
+		st.Requests, st.CacheHits, st.CacheMisses, st.Errors,
+		g.pool.Workers(), ps.Dispatched, ps.Completed, ps.Failed)
+	fmt.Fprintln(w)
+}
+
+func (g *Gateway) handleToken(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Auth == nil {
+		http.Error(w, "authentication disabled", http.StatusNotFound)
+		return
+	}
+	user := r.URL.Query().Get("user")
+	token, err := g.cfg.Auth.IssueToken(user)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
+	fmt.Fprint(w, token)
+}
+
+func (g *Gateway) handleData(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	if g.cfg.Auth != nil {
+		if _, err := g.cfg.Auth.Verify(r.URL.RequestURI()); err != nil {
+			g.errs.Add(1)
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+	}
+	key := strings.TrimPrefix(r.URL.Path, "/data/")
+	switch r.Method {
+	case http.MethodGet:
+		g.handleGet(w, r, key)
+	case http.MethodPost:
+		g.handlePost(w, r, key)
+	case http.MethodDelete:
+		g.handleDelete(w, r, key)
+	default:
+		g.errs.Add(1)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request, key string) {
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	if g.cfg.Cache != nil {
+		if val, ok := g.cfg.Cache.Get(key); ok {
+			g.cacheHits.Add(1)
+			w.Header().Set("X-Cache", "hit")
+			w.Write(val) //nolint:errcheck
+			return
+		}
+		g.cacheMisses.Add(1)
+	}
+	var val []byte
+	err := g.pool.Do(r.Context(), func(ctx context.Context) error {
+		var err error
+		val, err = g.backend.Get(ctx, key)
+		return err
+	})
+	if err != nil {
+		g.fail(w, err)
+		return
+	}
+	if g.cfg.Cache != nil {
+		g.cfg.Cache.Set(key, val)
+	}
+	w.Header().Set("X-Cache", "miss")
+	w.Write(val) //nolint:errcheck
+}
+
+func (g *Gateway) handlePost(w http.ResponseWriter, r *http.Request, key string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		g.fail(w, err)
+		return
+	}
+	if int64(len(body)) > g.cfg.MaxBodyBytes {
+		g.errs.Add(1)
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	created := false
+	if key == "" {
+		// POST without a key creates a new item and returns its key
+		// (paper §4: "it will create a new item in database and return a
+		// key value to user").
+		key = uuid.NewObjectId().Hex()
+		created = true
+	}
+	err = g.pool.Do(r.Context(), func(ctx context.Context) error {
+		return g.backend.Put(ctx, key, body)
+	})
+	if err != nil {
+		g.fail(w, err)
+		return
+	}
+	if g.cfg.Cache != nil {
+		g.cfg.Cache.Set(key, body)
+	}
+	if created {
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, key)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request, key string) {
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	err := g.pool.Do(r.Context(), func(ctx context.Context) error {
+		return g.backend.Delete(ctx, key)
+	})
+	if err != nil {
+		g.fail(w, err)
+		return
+	}
+	if g.cfg.Cache != nil {
+		g.cfg.Cache.Delete(key)
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (g *Gateway) fail(w http.ResponseWriter, err error) {
+	g.errs.Add(1)
+	switch {
+	case errors.Is(err, ErrNotFound):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, dispatch.ErrQueueFull):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}

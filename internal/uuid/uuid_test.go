@@ -1,0 +1,148 @@
+package uuid
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewObjectIdUnique(t *testing.T) {
+	seen := make(map[ObjectId]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewObjectId()
+		if seen[id] {
+			t.Fatalf("duplicate ObjectId after %d generations: %s", i, id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNewObjectIdConcurrentUnique(t *testing.T) {
+	const workers, per = 8, 2000
+	var mu sync.Mutex
+	seen := make(map[ObjectId]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ObjectId, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, NewObjectId())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate ObjectId under concurrency: %s", id)
+					return
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestObjectIdTimestamp(t *testing.T) {
+	at := time.Date(2013, 1, 31, 12, 0, 0, 0, time.UTC)
+	id := NewObjectIdAt(at)
+	if got := id.Timestamp().UTC(); !got.Equal(at) {
+		t.Fatalf("Timestamp() = %v, want %v", got, at)
+	}
+}
+
+func TestObjectIdHexRoundTrip(t *testing.T) {
+	id := NewObjectId()
+	parsed, err := ParseObjectId(id.Hex())
+	if err != nil {
+		t.Fatalf("ParseObjectId(%q): %v", id.Hex(), err)
+	}
+	if parsed != id {
+		t.Fatalf("round trip changed id: %s != %s", parsed, id)
+	}
+}
+
+func TestParseObjectIdErrors(t *testing.T) {
+	for _, bad := range []string{"", "abc", strings.Repeat("z", 24), strings.Repeat("a", 23)} {
+		if _, err := ParseObjectId(bad); err == nil {
+			t.Errorf("ParseObjectId(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestObjectIdString(t *testing.T) {
+	id := NewObjectId()
+	s := id.String()
+	if !strings.HasPrefix(s, `ObjectId("`) || !strings.HasSuffix(s, `")`) {
+		t.Fatalf("String() = %q, want ObjectId(\"...\") form", s)
+	}
+}
+
+func TestObjectIdIsZero(t *testing.T) {
+	if !(ObjectId{}).IsZero() {
+		t.Error("zero ObjectId not reported as zero")
+	}
+	if NewObjectId().IsZero() {
+		t.Error("fresh ObjectId reported as zero")
+	}
+}
+
+func TestUUIDVersionAndVariant(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		u := NewUUID()
+		if v := u[6] >> 4; v != 4 {
+			t.Fatalf("UUID version = %d, want 4", v)
+		}
+		if u[8]&0xc0 != 0x80 {
+			t.Fatalf("UUID variant bits = %08b, want 10xxxxxx", u[8])
+		}
+	}
+}
+
+func TestUUIDStringRoundTrip(t *testing.T) {
+	u := NewUUID()
+	s := u.String()
+	if len(s) != 36 {
+		t.Fatalf("String() length = %d, want 36", len(s))
+	}
+	parsed, err := ParseUUID(s)
+	if err != nil {
+		t.Fatalf("ParseUUID(%q): %v", s, err)
+	}
+	if parsed != u {
+		t.Fatalf("round trip changed UUID: %s != %s", parsed, u)
+	}
+}
+
+func TestParseUUIDErrors(t *testing.T) {
+	for _, bad := range []string{"", "not-a-uuid", strings.Repeat("a", 36)} {
+		if _, err := ParseUUID(bad); err == nil {
+			t.Errorf("ParseUUID(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestUUIDUnique(t *testing.T) {
+	seen := make(map[UUID]bool)
+	for i := 0; i < 10000; i++ {
+		u := NewUUID()
+		if seen[u] {
+			t.Fatalf("duplicate UUID after %d generations", i)
+		}
+		seen[u] = true
+	}
+}
+
+func TestObjectIdHexPropertyRoundTrip(t *testing.T) {
+	f := func(raw [12]byte) bool {
+		id := ObjectId(raw)
+		parsed, err := ParseObjectId(id.Hex())
+		return err == nil && parsed == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

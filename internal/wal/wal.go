@@ -1,0 +1,387 @@
+// Package wal implements the write-ahead log that gives the document store
+// durable, crash-recoverable persistence. The log is a sequence of CRC32-
+// checked records spread across fixed-size segment files; on open, a torn
+// tail (a partially written final record from a crash) is detected and
+// discarded, and everything before it replays.
+//
+// Record layout on disk:
+//
+//	magic   byte   (0xA5)
+//	crc32   uint32 (little endian, over length+payload)
+//	length  uint32 (little endian)
+//	payload length bytes
+//
+// Segment files are named wal-<firstLSN, 16 hex digits>.seg. LSNs are
+// 1-based, dense, monotonically increasing record sequence numbers.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	recordMagic   = 0xA5
+	headerSize    = 1 + 4 + 4
+	segmentSuffix = ".seg"
+	segmentPrefix = "wal-"
+)
+
+// LSN is a log sequence number: the 1-based index of a record in the log.
+type LSN uint64
+
+// Options configure a Log.
+type Options struct {
+	// SegmentSize is the byte size at which a new segment file is started.
+	// Zero means 8 MiB.
+	SegmentSize int64
+	// SyncEveryAppend fsyncs after every append. The experiments run with
+	// this off (matching MongoDB 1.6's default non-durable writes); the
+	// crash-recovery tests turn it on.
+	SyncEveryAppend bool
+	// MaxRecordSize bounds one record. Zero means 32 MiB.
+	MaxRecordSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentSize <= 0 {
+		o.SegmentSize = 8 << 20
+	}
+	if o.MaxRecordSize <= 0 {
+		o.MaxRecordSize = 32 << 20
+	}
+	return o
+}
+
+// Errors returned by the log.
+var (
+	ErrClosed       = errors.New("wal: log is closed")
+	ErrRecordTooBig = errors.New("wal: record exceeds MaxRecordSize")
+	ErrCorrupt      = errors.New("wal: corrupt record")
+)
+
+// Log is an append-only segmented write-ahead log. It is safe for concurrent
+// use.
+type Log struct {
+	mu     sync.Mutex
+	dir    string
+	opts   Options
+	file   *os.File // active segment
+	size   int64    // bytes written to active segment
+	next   LSN      // LSN the next appended record will receive
+	closed bool
+}
+
+// Open opens (creating if needed) the log in dir, scans existing segments,
+// truncates a torn tail if one exists, and positions the log for appending.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, next: 1}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		if err := l.rollSegment(); err != nil {
+			return nil, err
+		}
+		return l, nil
+	}
+	// Count records in all but the last segment, then scan (and possibly
+	// repair) the last.
+	for _, s := range segs[:len(segs)-1] {
+		n, _, err := scanSegment(filepath.Join(dir, s.name), opts.MaxRecordSize)
+		if err != nil {
+			return nil, fmt.Errorf("wal: segment %s: %w", s.name, err)
+		}
+		l.next = s.first + LSN(n)
+	}
+	last := segs[len(segs)-1]
+	n, validBytes, err := scanSegment(filepath.Join(dir, last.name), opts.MaxRecordSize)
+	if err != nil {
+		return nil, fmt.Errorf("wal: segment %s: %w", last.name, err)
+	}
+	l.next = last.first + LSN(n)
+
+	f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open segment: %w", err)
+	}
+	if err := f.Truncate(validBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: repair torn tail: %w", err)
+	}
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.file = f
+	l.size = validBytes
+	return l, nil
+}
+
+type segmentInfo struct {
+	name  string
+	first LSN
+}
+
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		hexPart := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+		first, err := strconv.ParseUint(hexPart, 16, 64)
+		if err != nil {
+			continue // foreign file, ignore
+		}
+		segs = append(segs, segmentInfo{name: name, first: LSN(first)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// scanSegment counts complete valid records and returns the byte offset just
+// past the last valid record. A torn or corrupt tail simply ends the scan.
+func scanSegment(path string, maxRecord int) (records int, validBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var off int64
+	hdr := make([]byte, headerSize)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return records, off, nil // clean EOF or torn header: stop here
+		}
+		if hdr[0] != recordMagic {
+			return records, off, nil
+		}
+		crc := binary.LittleEndian.Uint32(hdr[1:5])
+		length := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		if length < 0 || length > maxRecord {
+			return records, off, nil
+		}
+		if cap(payload) < length {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(append(hdr[5:9:9], payload...)) != crc {
+			return records, off, nil // corrupt record ends the log
+		}
+		records++
+		off += int64(headerSize + length)
+	}
+}
+
+func segmentName(first LSN) string {
+	return fmt.Sprintf("%s%016x%s", segmentPrefix, uint64(first), segmentSuffix)
+}
+
+func (l *Log) rollSegment() error {
+	if l.file != nil {
+		if err := l.file.Sync(); err != nil {
+			return err
+		}
+		if err := l.file.Close(); err != nil {
+			return err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.next)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.file = f
+	l.size = 0
+	return nil
+}
+
+// Append writes one record and returns its LSN.
+func (l *Log) Append(rec []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if len(rec) > l.opts.MaxRecordSize {
+		return 0, ErrRecordTooBig
+	}
+	if l.size >= l.opts.SegmentSize {
+		if err := l.rollSegment(); err != nil {
+			return 0, err
+		}
+	}
+	buf := make([]byte, headerSize+len(rec))
+	buf[0] = recordMagic
+	binary.LittleEndian.PutUint32(buf[5:9], uint32(len(rec)))
+	copy(buf[headerSize:], rec)
+	crc := crc32.ChecksumIEEE(buf[5:])
+	binary.LittleEndian.PutUint32(buf[1:5], crc)
+	if _, err := l.file.Write(buf); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if l.opts.SyncEveryAppend {
+		if err := l.file.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	lsn := l.next
+	l.next++
+	l.size += int64(len(buf))
+	return lsn, nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.file.Sync()
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Replay calls fn for every record with lsn ≥ from, in order. It opens its
+// own read handles so it can run while the log continues appending, but the
+// caller is responsible for not relying on records appended after the call
+// begins being visible.
+func (l *Log) Replay(from LSN, fn func(lsn LSN, rec []byte) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	if err := l.file.Sync(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	dir, maxRecord := l.dir, l.opts.MaxRecordSize
+	l.mu.Unlock()
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := replaySegment(filepath.Join(dir, s.name), s.first, from, maxRecord, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(path string, first, from LSN, maxRecord int, fn func(LSN, []byte) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	lsn := first
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			return nil
+		}
+		if hdr[0] != recordMagic {
+			return nil
+		}
+		crc := binary.LittleEndian.Uint32(hdr[1:5])
+		length := int(binary.LittleEndian.Uint32(hdr[5:9]))
+		if length < 0 || length > maxRecord {
+			return nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(append(hdr[5:9:9], payload...)) != crc {
+			return nil
+		}
+		if lsn >= from {
+			if err := fn(lsn, payload); err != nil {
+				return err
+			}
+		}
+		lsn++
+	}
+}
+
+// TruncateBefore removes whole segments all of whose records have LSN < upto.
+// It is called after the owning store writes a snapshot covering those
+// records. The active segment is never removed.
+func (l *Log) TruncateBefore(upto LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < len(segs)-1; i++ {
+		// A segment is removable when the next segment starts at or below
+		// upto, meaning every record in this one is < upto.
+		if segs[i+1].first <= upto {
+			if err := os.Remove(filepath.Join(l.dir, segs[i].name)); err != nil {
+				return fmt.Errorf("wal: truncate: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// SegmentCount reports how many segment files exist, for tests and stats.
+func (l *Log) SegmentCount() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	segs, err := listSegments(l.dir)
+	return len(segs), err
+}
+
+// Close syncs and closes the active segment. Further operations return
+// ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.file.Sync(); err != nil {
+		l.file.Close()
+		return err
+	}
+	return l.file.Close()
+}

@@ -1,0 +1,394 @@
+// Package mystore is the public API of MyStore, a highly available
+// distributed storage system for unstructured data: a Dynamo-style layer —
+// consistent hashing with virtual nodes, NWR quorum replication, push-pull
+// gossip, hinted handoff — over a clustered MongoDB-like document store,
+// with MongoDB-grade query capability retained.
+//
+// Two deployment styles are supported:
+//
+//   - In-process clusters (StartCluster) run every node inside one process
+//     over a simulated network. Examples, tests and the paper-reproduction
+//     benchmarks use this form: it is deterministic and laptop-scale.
+//   - Networked clusters (ListenNode + Connect) run each node as a TCP
+//     server, which is what cmd/mystore-server and cmd/mystore-cli drive.
+//
+// A minimal session:
+//
+//	cl, _ := mystore.StartCluster(mystore.ClusterOptions{Nodes: 5})
+//	defer cl.Close()
+//	client, _ := cl.Client()
+//	client.Put(ctx, "Resistor5", []byte("<component .../>"))
+//	val, _ := client.Get(ctx, "Resistor5")
+package mystore
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/cluster"
+	"mystore/internal/docstore"
+	"mystore/internal/nwr"
+	"mystore/internal/transport"
+)
+
+// Re-exported document and query types, so applications need only this
+// package.
+type (
+	// Document is an ordered BSON document.
+	Document = bson.D
+	// E is one document element.
+	E = bson.E
+	// A is a BSON array value.
+	A = bson.A
+	// Filter is a query filter in the MongoDB shell dialect
+	// ($eq/$ne/$gt/$gte/$lt/$lte/$in/$nin/$exists/$regex/$and/$or/$not).
+	Filter = docstore.Filter
+	// FindOptions shape query results (sort, skip, limit, projection).
+	FindOptions = docstore.FindOptions
+	// SortField names a sort key and direction.
+	SortField = docstore.SortField
+	// QueryResult is one distributed-query match.
+	QueryResult = cluster.QueryResult
+	// GroupSpec describes a distributed aggregation (group-by field plus
+	// accumulators).
+	GroupSpec = docstore.GroupSpec
+	// AccumulatorSpec is one aggregation output.
+	AccumulatorSpec = docstore.AccumulatorSpec
+	// Client performs Put/Get/Delete/Query against a cluster.
+	Client = cluster.Client
+	// ClientOptions carry connection parameters (timeouts, auto-retry).
+	ClientOptions = cluster.ClientOptions
+	// Node is one storage node.
+	Node = cluster.Node
+)
+
+// Aggregation accumulator kinds, re-exported for GroupSpec construction.
+const (
+	AccCount = docstore.AccCount
+	AccSum   = docstore.AccSum
+	AccAvg   = docstore.AccAvg
+	AccMin   = docstore.AccMin
+	AccMax   = docstore.AccMax
+)
+
+// ClusterOptions configure an in-process cluster.
+type ClusterOptions struct {
+	// Nodes is the cluster size. The paper's testbed uses 5.
+	Nodes int
+	// SeedCount is how many of the first nodes act as gossip seeds
+	// (default 1, matching the paper's one seed DB node).
+	SeedCount int
+	// N, W, R are the replication factor and quorums (default 3, 2, 1 —
+	// the paper's evaluation setting).
+	N, W, R int
+	// Weights, when non-nil, returns the capacity weight for node i
+	// (default: all 1).
+	Weights func(i int) int
+	// LatencyBase and Bandwidth shape the simulated LAN: per-message
+	// latency plus size/bandwidth transfer time. Zero base means no
+	// simulated latency.
+	LatencyBase time.Duration
+	Bandwidth   float64 // bytes per second; 0 means infinite
+	// GossipInterval is the background tick period (default 200ms for
+	// in-process clusters).
+	GossipInterval time.Duration
+	// DataDir, when set, persists node stores under DataDir/node-<i>.
+	DataDir string
+	// DisableHints turns hinted handoff off (ablation benches).
+	DisableHints bool
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Nodes <= 0 {
+		o.Nodes = 5
+	}
+	if o.SeedCount <= 0 {
+		o.SeedCount = 1
+	}
+	if o.SeedCount > o.Nodes {
+		o.SeedCount = o.Nodes
+	}
+	if o.N <= 0 {
+		o.N = 3
+	}
+	if o.W <= 0 {
+		o.W = 2
+	}
+	if o.R <= 0 {
+		o.R = 1
+	}
+	if o.GossipInterval <= 0 {
+		o.GossipInterval = 200 * time.Millisecond
+	}
+	return o
+}
+
+// Cluster is an in-process MyStore cluster.
+type Cluster struct {
+	opts ClusterOptions
+	net  *transport.MemNetwork
+
+	mu    sync.Mutex // guards eps, nodes, addrs against AddNode
+	eps   []*transport.MemTransport
+	nodes []*cluster.Node
+	addrs []string
+
+	seeds []string
+	stop  context.CancelFunc
+	done  chan struct{}
+}
+
+// members returns a consistent snapshot of the cluster's endpoints and
+// nodes.
+func (c *Cluster) members() ([]*transport.MemTransport, []*cluster.Node) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*transport.MemTransport(nil), c.eps...),
+		append([]*cluster.Node(nil), c.nodes...)
+}
+
+// StartCluster boots an in-process cluster, runs gossip in the background
+// and waits briefly for membership to converge.
+func StartCluster(opts ClusterOptions) (*Cluster, error) {
+	opts = opts.withDefaults()
+	c := &Cluster{
+		opts: opts,
+		net:  transport.NewMemNetwork(),
+		done: make(chan struct{}),
+	}
+	if opts.LatencyBase > 0 || opts.Bandwidth > 0 {
+		c.net.SetLatencyModel(transport.LANLatency(opts.LatencyBase, opts.Bandwidth))
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		c.addrs = append(c.addrs, nodeAddr(i))
+	}
+	c.seeds = append(c.seeds, c.addrs[:opts.SeedCount]...)
+	for i := 0; i < opts.Nodes; i++ {
+		if _, err := c.startNode(i); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.stop = cancel
+	go c.run(ctx)
+	c.WaitConverged(5 * time.Second)
+	return c, nil
+}
+
+func nodeAddr(i int) string { return fmt.Sprintf("10.0.0.%d:19870", i+1) }
+
+func (c *Cluster) nodeConfig(i int) cluster.Config {
+	weight := 1
+	if c.opts.Weights != nil {
+		if w := c.opts.Weights(i); w > 0 {
+			weight = w
+		}
+	}
+	dir := ""
+	if c.opts.DataDir != "" {
+		dir = fmt.Sprintf("%s/node-%d", c.opts.DataDir, i)
+	}
+	return cluster.Config{
+		Seeds:          c.seeds,
+		Weight:         weight,
+		NWR:            nwr.Config{N: c.opts.N, W: c.opts.W, R: c.opts.R, DisableHints: c.opts.DisableHints},
+		StoreDir:       dir,
+		GossipInterval: c.opts.GossipInterval,
+	}
+}
+
+func (c *Cluster) startNode(i int) (*cluster.Node, error) {
+	ep, err := c.net.Endpoint(c.addrs[i])
+	if err != nil {
+		return nil, err
+	}
+	node, err := cluster.NewNode(ep, c.nodeConfig(i))
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.eps = append(c.eps, ep)
+	c.nodes = append(c.nodes, node)
+	c.mu.Unlock()
+	return node, nil
+}
+
+// run ticks every live node until the cluster closes.
+func (c *Cluster) run(ctx context.Context) {
+	defer close(c.done)
+	t := time.NewTicker(c.opts.GossipInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			eps, nodes := c.members()
+			for i, n := range nodes {
+				if !eps[i].Closed() {
+					n.Tick(ctx)
+				}
+			}
+		}
+	}
+}
+
+// WaitConverged blocks until every live node's ring contains every live
+// node, or the timeout passes. It returns whether convergence was reached.
+func (c *Cluster) WaitConverged(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		eps, nodes := c.members()
+		live := 0
+		for i := range nodes {
+			if !eps[i].Closed() {
+				live++
+			}
+		}
+		converged := true
+		for i, n := range nodes {
+			if eps[i].Closed() {
+				continue
+			}
+			if n.Ring().Len() < live {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			return true
+		}
+		time.Sleep(c.opts.GossipInterval / 2)
+	}
+	return false
+}
+
+// Client connects a new client to the cluster, performing the paper's
+// connection test against the nodes.
+func (c *Cluster) Client() (*Client, error) {
+	ep, err := c.net.Endpoint(fmt.Sprintf("client-%d:0", len(c.net.Addresses())))
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Connect(context.Background(), ep, c.Addrs(), cluster.ClientOptions{AutoRetry: true})
+}
+
+// Addrs returns the node addresses.
+func (c *Cluster) Addrs() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.addrs...)
+}
+
+// Nodes returns the node handles (inspection, stats).
+func (c *Cluster) Nodes() []*cluster.Node {
+	_, nodes := c.members()
+	return nodes
+}
+
+// Network exposes the simulated network for fault injection.
+func (c *Cluster) Network() *transport.MemNetwork { return c.net }
+
+// StopNode simulates a breakdown of node i: it stops answering and
+// originating traffic but keeps its data.
+func (c *Cluster) StopNode(i int) {
+	eps, _ := c.members()
+	if i >= 0 && i < len(eps) {
+		eps[i].Close()
+	}
+}
+
+// RestartNode brings a stopped node back online with its data intact.
+func (c *Cluster) RestartNode(i int) {
+	eps, _ := c.members()
+	if i >= 0 && i < len(eps) {
+		eps[i].Reopen()
+	}
+}
+
+// AddNode grows the cluster by one node at runtime; gossip spreads the
+// membership and data migrates on subsequent ticks.
+func (c *Cluster) AddNode() (*Node, error) {
+	c.mu.Lock()
+	i := len(c.nodes)
+	c.addrs = append(c.addrs, nodeAddr(i))
+	c.mu.Unlock()
+	return c.startNode(i)
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() error {
+	if c.stop != nil {
+		c.stop()
+		<-c.done
+	}
+	_, nodes := c.members()
+	var first error
+	for _, n := range nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// --- networked deployments ---
+
+// NodeOptions configure a networked node.
+type NodeOptions struct {
+	// Seeds are the addresses of the cluster's seed nodes.
+	Seeds []string
+	// Weight is the node's capacity weight (default 1).
+	Weight int
+	// N, W, R are the replication settings (default 3, 2, 1).
+	N, W, R int
+	// DataDir persists the store; empty means in-memory.
+	DataDir string
+	// GossipInterval defaults to 1s.
+	GossipInterval time.Duration
+}
+
+// ListenNode starts a networked storage node serving on addr and begins
+// its background loop. Stop it with its Close method after cancelling ctx.
+func ListenNode(ctx context.Context, addr string, opts NodeOptions) (*Node, error) {
+	tr, err := transport.ListenTCP(addr, transport.TCPOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if opts.N <= 0 {
+		opts.N = 3
+	}
+	if opts.W <= 0 {
+		opts.W = 2
+	}
+	if opts.R <= 0 {
+		opts.R = 1
+	}
+	node, err := cluster.NewNode(tr, cluster.Config{
+		Seeds:          opts.Seeds,
+		Weight:         opts.Weight,
+		NWR:            nwr.Config{N: opts.N, W: opts.W, R: opts.R},
+		StoreDir:       opts.DataDir,
+		GossipInterval: opts.GossipInterval,
+	})
+	if err != nil {
+		tr.Close()
+		return nil, err
+	}
+	go node.RunLoop(ctx)
+	return node, nil
+}
+
+// Connect dials a networked cluster from this process, running the
+// connection test against the given node addresses.
+func Connect(ctx context.Context, nodes []string, opts ClientOptions) (*Client, error) {
+	tr, err := transport.ListenTCP("127.0.0.1:0", transport.TCPOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Connect(ctx, tr, nodes, opts)
+}

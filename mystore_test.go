@@ -1,0 +1,370 @@
+package mystore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mystore/internal/cluster"
+)
+
+func startTestCluster(t *testing.T, opts ClusterOptions) *Cluster {
+	t.Helper()
+	if opts.GossipInterval == 0 {
+		opts.GossipInterval = 20 * time.Millisecond
+	}
+	c, err := StartCluster(opts)
+	if err != nil {
+		t.Fatalf("StartCluster: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestStartClusterDefaultsAndConvergence(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{})
+	if len(c.Nodes()) != 5 {
+		t.Fatalf("nodes = %d, want default 5", len(c.Nodes()))
+	}
+	if !c.WaitConverged(5 * time.Second) {
+		t.Fatal("cluster did not converge")
+	}
+	for i, n := range c.Nodes() {
+		if n.Ring().Len() != 5 {
+			t.Fatalf("node %d ring = %d members", i, n.Ring().Len())
+		}
+	}
+}
+
+func TestPublicAPICrud(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 5})
+	client, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := client.Put(ctx, "scene-1", []byte("<scene/>")); err != nil {
+		t.Fatal(err)
+	}
+	val, err := client.Get(ctx, "scene-1")
+	if err != nil || string(val) != "<scene/>" {
+		t.Fatalf("Get = %q, %v", val, err)
+	}
+	if err := client.Delete(ctx, "scene-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get(ctx, "scene-1"); err == nil {
+		t.Fatal("Get after delete succeeded")
+	}
+}
+
+func TestPublicAPIDocQuery(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 3})
+	client, _ := c.Client()
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		doc := Document{
+			{Key: "discipline", Value: []string{"physics", "chemistry"}[i%2]},
+			{Key: "n", Value: int64(i)},
+		}
+		if err := client.PutDoc(ctx, fmt.Sprintf("exp-%02d", i), doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := client.Query(ctx, Filter{
+		{Key: "doc.discipline", Value: "physics"},
+		{Key: "doc.n", Value: Document{{Key: "$lt", Value: int64(6)}}},
+	}, FindOptions{Sort: []SortField{{Field: "self-key"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("query = %d results, want 3 (n=0,2,4)", len(results))
+	}
+	doc, err := client.GetDoc(ctx, "exp-03")
+	if err != nil || doc.StringOr("discipline", "") != "chemistry" {
+		t.Fatalf("GetDoc = %s, %v", doc, err)
+	}
+}
+
+func TestClusterSurvivesNodeStopAndRestart(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 5})
+	client, _ := c.Client()
+	ctx := context.Background()
+	for i := 0; i < 30; i++ {
+		if err := client.Put(ctx, fmt.Sprintf("k%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.StopNode(2)
+	// Writes and reads continue during the outage.
+	for i := 0; i < 30; i++ {
+		if _, err := client.Get(ctx, fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatalf("Get during outage: %v", err)
+		}
+	}
+	if err := client.Put(ctx, "during-outage", []byte("v")); err != nil {
+		t.Fatalf("Put during outage: %v", err)
+	}
+	c.RestartNode(2)
+	time.Sleep(200 * time.Millisecond) // let hints deliver
+	if _, err := client.Get(ctx, "during-outage"); err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+}
+
+func TestClusterAddNode(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 4})
+	client, _ := c.Client()
+	ctx := context.Background()
+	for i := 0; i < 40; i++ {
+		client.Put(ctx, fmt.Sprintf("k%02d", i), []byte("v")) //nolint:errcheck
+	}
+	node, err := c.AddNode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if node.Store().C("records").Len() > 0 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if node.Store().C("records").Len() == 0 {
+		t.Fatal("new node received no migrated data")
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := client.Get(ctx, fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatalf("Get(%d) after join: %v", i, err)
+		}
+	}
+}
+
+func TestGatewayOverCluster(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 3})
+	client, _ := c.Client()
+	gw := NewGateway(ClusterBackend{Client: client}, GatewayOptions{CacheServers: 2, Workers: 4})
+	defer gw.Close()
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/data/web-key", "application/octet-stream",
+		strings.NewReader("via-http"))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %v / %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/data/web-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "via-http" {
+		t.Fatalf("GET body = %q", body)
+	}
+	resp, _ = http.Get(srv.URL + "/data/absent-key")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent key status = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestNetworkedClusterOverTCP(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Boot three TCP nodes; the first is the seed.
+	seedNode, err := ListenNode(ctx, "127.0.0.1:0", NodeOptions{GossipInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seedNode.Close()
+	seeds := []string{seedNode.Addr()}
+	var nodes []*Node
+	nodes = append(nodes, seedNode)
+	for i := 0; i < 2; i++ {
+		n, err := ListenNode(ctx, "127.0.0.1:0", NodeOptions{Seeds: seeds, GossipInterval: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes = append(nodes, n)
+	}
+	// Recreate the seed's view: its own seeds list points at itself.
+	var addrs []string
+	for _, n := range nodes {
+		addrs = append(addrs, n.Addr())
+	}
+	// Wait for membership.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if nodes[0].Ring().Len() == 3 && nodes[2].Ring().Len() == 3 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	client, err := Connect(ctx, addrs, ClientOptions{AutoRetry: true})
+	if err != nil {
+		t.Fatalf("Connect over TCP: %v", err)
+	}
+	if err := client.Put(ctx, "tcp-key", []byte("tcp-value")); err != nil {
+		t.Fatalf("Put over TCP: %v", err)
+	}
+	val, err := client.Get(ctx, "tcp-key")
+	if err != nil || string(val) != "tcp-value" {
+		t.Fatalf("Get over TCP = %q, %v", val, err)
+	}
+}
+
+func TestClusterFacadeEdges(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 2})
+	// Out-of-range node operations are harmless no-ops.
+	c.StopNode(-1)
+	c.StopNode(99)
+	c.RestartNode(-1)
+	c.RestartNode(99)
+	if got := len(c.Addrs()); got != 2 {
+		t.Fatalf("Addrs = %d", got)
+	}
+	// Convergence with a node down: the live subset still converges.
+	c.StopNode(1)
+	if !c.WaitConverged(3 * time.Second) {
+		t.Fatal("single live node should trivially converge")
+	}
+	// Double close is safe.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedCountClamped(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 2, SeedCount: 10})
+	if len(c.seeds) != 2 {
+		t.Fatalf("seeds = %d, want clamped to 2", len(c.seeds))
+	}
+}
+
+func TestConnectFailsWithNoNodes(t *testing.T) {
+	if _, err := Connect(context.Background(), nil, ClientOptions{}); !errors.Is(err, cluster.ErrNoNodes) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWeightedCluster(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{
+		Nodes:   3,
+		Weights: func(i int) int { return i + 1 }, // capacities 1, 2, 3
+	})
+	client, _ := c.Client()
+	ctx := context.Background()
+	for i := 0; i < 300; i++ {
+		client.Put(ctx, fmt.Sprintf("w-key-%04d", i), []byte("v")) //nolint:errcheck
+	}
+	// The heaviest node should hold at least as many records as the
+	// lightest (probabilistic, wide margin).
+	l0 := c.Nodes()[0].Store().C("records").Len()
+	l2 := c.Nodes()[2].Store().C("records").Len()
+	if l2 <= l0/2 {
+		t.Fatalf("weight-3 node holds %d, weight-1 node %d", l2, l0)
+	}
+}
+
+func TestLargeObjectOverCluster(t *testing.T) {
+	c := startTestCluster(t, ClusterOptions{Nodes: 5})
+	client, _ := c.Client()
+	ctx := context.Background()
+	payload := make([]byte, 2<<20+77) // a guideline-video-sized object
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	m, err := PutLarge(ctx, client, "video/guide-1", bytesReader(payload), LargeObjectConfig{ChunkSize: 256 << 10})
+	if err != nil {
+		t.Fatalf("PutLarge: %v", err)
+	}
+	if m.Chunks != 9 {
+		t.Fatalf("chunks = %d, want 9", m.Chunks)
+	}
+	got, err := GetLarge(ctx, client, "video/guide-1")
+	if err != nil {
+		t.Fatalf("GetLarge: %v", err)
+	}
+	if len(got) != len(payload) {
+		t.Fatalf("GetLarge returned %d bytes, want %d", len(got), len(payload))
+	}
+	for i := range got {
+		if got[i] != payload[i] {
+			t.Fatalf("payload differs at byte %d", i)
+		}
+	}
+	st, err := StatLarge(ctx, client, "video/guide-1")
+	if err != nil || st.Size != int64(len(payload)) {
+		t.Fatalf("StatLarge = %+v, %v", st, err)
+	}
+	// Chunks survive a node outage (each replicates independently).
+	c.StopNode(2)
+	if _, err := GetLarge(ctx, client, "video/guide-1"); err != nil {
+		t.Fatalf("GetLarge with a node down: %v", err)
+	}
+	c.RestartNode(2)
+	// Distributed queries must not leak internal chunk records: only the
+	// manifest key is visible.
+	results, err := client.Query(ctx, Filter{}, FindOptions{})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	for _, r := range results {
+		if strings.ContainsRune(r.Key, 0) {
+			t.Fatalf("chunk key leaked into query results: %q", r.Key)
+		}
+	}
+	if len(results) != 1 || results[0].Key != "video/guide-1" {
+		t.Fatalf("query results = %d (%v), want just the manifest", len(results), results)
+	}
+	if err := DeleteLarge(ctx, client, "video/guide-1"); err != nil {
+		t.Fatalf("DeleteLarge: %v", err)
+	}
+	if _, err := StatLarge(ctx, client, "video/guide-1"); err == nil {
+		t.Fatal("manifest survives DeleteLarge")
+	}
+}
+
+func bytesReader(b []byte) *strings.Reader {
+	// strings.Reader avoids bytes import churn; the payload is binary-safe.
+	return strings.NewReader(string(b))
+}
+
+func TestClusterWithPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c := startTestCluster(t, ClusterOptions{Nodes: 3, DataDir: dir})
+	client, _ := c.Client()
+	if err := client.Put(context.Background(), "durable", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Stores persisted under the data dir; the last replication may land
+	// just after the quorum return.
+	var total int
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		total = 0
+		for _, n := range c.Nodes() {
+			total += n.Store().C("records").Len()
+		}
+		if total == 3 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if total != 3 {
+		t.Fatalf("replicas = %d", total)
+	}
+}
