@@ -1,0 +1,10 @@
+.PHONY: verify test bench
+
+verify:
+	./verify.sh
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem

@@ -27,6 +27,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:19870", "address to listen on")
 	seeds := flag.String("seeds", "", "comma-separated seed node addresses (include this node's address to make it a seed)")
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
+	durable := flag.Bool("durable", false, "fsync every write before acknowledging (group-committed)")
 	weight := flag.Int("weight", 1, "capacity weight (scales virtual nodes)")
 	n := flag.Int("n", 3, "replication factor N")
 	w := flag.Int("w", 2, "write quorum W")
@@ -51,6 +52,7 @@ func main() {
 		W:              *w,
 		R:              *r,
 		DataDir:        *dataDir,
+		Durable:        *durable,
 		GossipInterval: *gossipEvery,
 	})
 	if err != nil {

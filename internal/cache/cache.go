@@ -4,24 +4,43 @@
 // resources' keys". Items read, inserted or updated recently are cached;
 // the gateway consults the cache before the storage cluster and fills it on
 // miss.
+//
+// Each Server is internally sharded across mutex-guarded segments keyed by
+// key hash, so concurrent gateway workers do not serialize on one lock.
+// LRU order is therefore exact per segment and approximate across the
+// server as a whole — the standard memcached-style trade-off. Tests that
+// need exact global LRU build a single-segment server with
+// NewServerShards(capacity, 1).
 package cache
 
 import (
 	"container/list"
 	"sync"
 
+	"mystore/internal/metrics"
 	"mystore/internal/ring"
 )
 
-// Server is one LRU cache server bounded by total value bytes.
+// DefaultShards is the segment count NewServer uses. Sixteen segments keep
+// lock hold times short at gateway concurrency while staying cheap for
+// small caches.
+const DefaultShards = 16
+
+// Server is one LRU cache server bounded by total value bytes, sharded
+// across DefaultShards mutex-guarded segments.
 type Server struct {
+	shards []*shard
+
+	hits, misses, evictions metrics.Counter
+}
+
+// shard is one independently locked LRU segment.
+type shard struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
 	order    *list.List // front = most recently used
 	items    map[string]*list.Element
-
-	hits, misses, evictions int64
 }
 
 type entry struct {
@@ -29,95 +48,150 @@ type entry struct {
 	val []byte
 }
 
-// NewServer returns a cache holding at most capacity bytes of values.
+// NewServer returns a cache holding at most capacity bytes of values,
+// sharded across DefaultShards segments.
 func NewServer(capacity int64) *Server {
+	return NewServerShards(capacity, DefaultShards)
+}
+
+// NewServerShards returns a cache with an explicit segment count. One
+// segment gives the exact global LRU order of the unsharded design.
+func NewServerShards(capacity int64, shards int) *Server {
 	if capacity <= 0 {
 		capacity = 64 << 20
 	}
-	return &Server{
-		capacity: capacity,
-		order:    list.New(),
-		items:    make(map[string]*list.Element),
+	if shards <= 0 {
+		shards = DefaultShards
 	}
+	per := capacity / int64(shards)
+	if per < 1 {
+		per = 1
+	}
+	s := &Server{}
+	for i := 0; i < shards; i++ {
+		s.shards = append(s.shards, &shard{
+			capacity: per,
+			order:    list.New(),
+			items:    make(map[string]*list.Element),
+		})
+	}
+	return s
+}
+
+// shardFor maps key to its segment with FNV-1a. The tier above already
+// places keys on servers with the Ketama hash; a different hash here keeps
+// the two partitionings independent (the same hash mod servers then mod
+// shards would leave most segments empty).
+func (s *Server) shardFor(key string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return s.shards[h%uint64(len(s.shards))]
 }
 
 // Get returns the cached value and whether it was present, refreshing
 // recency.
 func (s *Server) Get(key string) ([]byte, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	el, ok := s.items[key]
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.items[key]
 	if !ok {
-		s.misses++
+		sh.mu.Unlock()
+		s.misses.Inc()
 		return nil, false
 	}
-	s.order.MoveToFront(el)
-	s.hits++
+	sh.order.MoveToFront(el)
 	val := el.Value.(*entry).val
 	out := make([]byte, len(val))
 	copy(out, val)
+	sh.mu.Unlock()
+	s.hits.Inc()
 	return out, true
 }
 
-// Set inserts or refreshes key, evicting LRU items to stay within
-// capacity. Values larger than the whole capacity are not cached.
+// Set inserts or refreshes key, evicting LRU items from its segment to stay
+// within the segment's capacity share. Values larger than one segment's
+// share are not cached.
 func (s *Server) Set(key string, val []byte) {
+	sh := s.shardFor(key)
 	size := int64(len(val))
-	if size > s.capacity {
+	if size > sh.capacity {
 		return
 	}
 	stored := make([]byte, len(val))
 	copy(stored, val)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
+	var evicted int64
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
 		old := el.Value.(*entry)
-		s.used += size - int64(len(old.val))
+		sh.used += size - int64(len(old.val))
 		old.val = stored
-		s.order.MoveToFront(el)
+		sh.order.MoveToFront(el)
 	} else {
-		el := s.order.PushFront(&entry{key: key, val: stored})
-		s.items[key] = el
-		s.used += size
+		el := sh.order.PushFront(&entry{key: key, val: stored})
+		sh.items[key] = el
+		sh.used += size
 	}
-	for s.used > s.capacity {
-		oldest := s.order.Back()
+	for sh.used > sh.capacity {
+		oldest := sh.order.Back()
 		if oldest == nil {
 			break
 		}
 		e := oldest.Value.(*entry)
-		s.order.Remove(oldest)
-		delete(s.items, e.key)
-		s.used -= int64(len(e.val))
-		s.evictions++
+		sh.order.Remove(oldest)
+		delete(sh.items, e.key)
+		sh.used -= int64(len(e.val))
+		evicted++
+	}
+	sh.mu.Unlock()
+	if evicted > 0 {
+		s.evictions.Add(evicted)
 	}
 }
 
 // Delete removes key if cached.
 func (s *Server) Delete(key string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if el, ok := s.items[key]; ok {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.items[key]; ok {
 		e := el.Value.(*entry)
-		s.order.Remove(el)
-		delete(s.items, key)
-		s.used -= int64(len(e.val))
+		sh.order.Remove(el)
+		delete(sh.items, key)
+		sh.used -= int64(len(e.val))
 	}
 }
 
 // Len returns the number of cached items.
 func (s *Server) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.items)
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += len(sh.items)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // UsedBytes returns the bytes of cached values.
 func (s *Server) UsedBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.used
+	var used int64
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		used += sh.used
+		sh.mu.Unlock()
+	}
+	return used
 }
+
+// Shards returns the segment count (tests, stats).
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Stats summarize server activity.
 type Stats struct {
@@ -128,10 +202,18 @@ type Stats struct {
 
 // Stats returns a snapshot.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return Stats{Hits: s.hits, Misses: s.misses, Evictions: s.evictions,
-		Items: len(s.items), UsedBytes: s.used}
+	st := Stats{
+		Hits:      s.hits.Value(),
+		Misses:    s.misses.Value(),
+		Evictions: s.evictions.Value(),
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st.Items += len(sh.items)
+		st.UsedBytes += sh.used
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // Tier is the client-side view of several cache servers: each key maps to

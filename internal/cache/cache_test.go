@@ -25,7 +25,7 @@ func TestGetSetDelete(t *testing.T) {
 }
 
 func TestSetOverwriteAdjustsUsage(t *testing.T) {
-	s := NewServer(1024)
+	s := NewServerShards(1024, 1)
 	s.Set("k", make([]byte, 100))
 	if got := s.UsedBytes(); got != 100 {
 		t.Fatalf("UsedBytes = %d", got)
@@ -50,8 +50,9 @@ func TestGetReturnsCopy(t *testing.T) {
 	}
 }
 
+// TestLRUEviction checks the exact LRU order a single segment maintains.
 func TestLRUEviction(t *testing.T) {
-	s := NewServer(300)
+	s := NewServerShards(300, 1)
 	s.Set("a", make([]byte, 100))
 	s.Set("b", make([]byte, 100))
 	s.Set("c", make([]byte, 100))
@@ -94,7 +95,7 @@ func TestStatsCounts(t *testing.T) {
 }
 
 func TestCapacityInvariantProperty(t *testing.T) {
-	s := NewServer(500)
+	s := NewServerShards(500, 1)
 	f := func(ops []uint16) bool {
 		for _, op := range ops {
 			key := fmt.Sprintf("k%d", op%50)
@@ -129,6 +130,70 @@ func TestConcurrentAccess(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+func TestShardedSpreadsSegments(t *testing.T) {
+	s := NewServer(1 << 20)
+	if s.Shards() != DefaultShards {
+		t.Fatalf("Shards = %d, want %d", s.Shards(), DefaultShards)
+	}
+	for i := 0; i < 2000; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), []byte("v"))
+	}
+	if s.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", s.Len())
+	}
+	// Every segment should hold a reasonable share of 2000 uniform keys.
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		n := len(sh.items)
+		sh.mu.Unlock()
+		if n < 2000/DefaultShards/4 {
+			t.Errorf("segment %d holds only %d of 2000 keys", i, n)
+		}
+	}
+}
+
+func TestShardedCapacityInvariant(t *testing.T) {
+	s := NewServer(16 << 10) // 1 KiB per segment
+	for i := 0; i < 500; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), make([]byte, 100))
+	}
+	if used := s.UsedBytes(); used > 16<<10 {
+		t.Fatalf("UsedBytes = %d exceeds capacity", used)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions once segments filled")
+	}
+	if st.UsedBytes != s.UsedBytes() {
+		t.Fatalf("Stats.UsedBytes = %d, UsedBytes() = %d", st.UsedBytes, s.UsedBytes())
+	}
+}
+
+func TestShardedCountersConcurrent(t *testing.T) {
+	s := NewServer(1 << 20)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%32)
+				s.Set(key, []byte{byte(w)})
+				s.Get(key)                          //nolint:errcheck
+				s.Get(fmt.Sprintf("missing-%d", i)) //nolint:errcheck
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Hits != 8*200 {
+		t.Fatalf("Hits = %d, want %d", st.Hits, 8*200)
+	}
+	if st.Misses != 8*200 {
+		t.Fatalf("Misses = %d, want %d", st.Misses, 8*200)
+	}
 }
 
 func TestZeroCapacityDefaults(t *testing.T) {

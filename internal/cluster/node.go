@@ -51,6 +51,10 @@ type Config struct {
 	NWR nwr.Config
 	// StoreDir persists the local document store; empty means in-memory.
 	StoreDir string
+	// Store tunes the local document store beyond the directory: WAL
+	// durability and group commit, or the serialized write path for
+	// ablations. Its Dir field is ignored — StoreDir wins.
+	Store docstore.Options
 	// GossipInterval is the gossip tick period (default 1s).
 	GossipInterval time.Duration
 	// Now injects a clock for deterministic simulations.
@@ -93,7 +97,9 @@ type Node struct {
 // answers RPCs; call Tick (or RunLoop) to participate in gossip.
 func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
-	store, err := docstore.Open(docstore.Options{Dir: cfg.StoreDir})
+	storeOpts := cfg.Store
+	storeOpts.Dir = cfg.StoreDir
+	store, err := docstore.Open(storeOpts)
 	if err != nil {
 		return nil, err
 	}

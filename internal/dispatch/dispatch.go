@@ -84,9 +84,11 @@ func (p *Pool) worker(q chan job) {
 }
 
 // Do dispatches req to the next worker round-robin and waits for it to
-// complete. It returns the request's error, ErrClosed after Close, or
-// ErrQueueFull when the selected worker's backlog is full (the overload
-// signal a saturated fcgi pool gives).
+// complete. If that worker's backlog is full it falls back to any worker
+// with a free slot, so a single slow worker doesn't reject requests while
+// its neighbours sit idle. It returns the request's error, ErrClosed after
+// Close, or ErrQueueFull when every backlog is full (the overload signal a
+// saturated fcgi pool gives).
 func (p *Pool) Do(ctx context.Context, req Request) error {
 	j := job{ctx: ctx, req: req, done: make(chan error, 1)}
 	p.closeMu.RLock()
@@ -96,11 +98,15 @@ func (p *Pool) Do(ctx context.Context, req Request) error {
 	}
 	idx := int(p.next.Add(1)-1) % len(p.queues)
 	var enqueued bool
-	select {
-	case p.queues[idx] <- j:
-		enqueued = true
-		p.dispatched.Add(1)
-	default:
+	for off := 0; off < len(p.queues); off++ {
+		select {
+		case p.queues[(idx+off)%len(p.queues)] <- j:
+			enqueued = true
+			p.dispatched.Add(1)
+		default:
+			continue
+		}
+		break
 	}
 	p.closeMu.RUnlock()
 	if !enqueued {

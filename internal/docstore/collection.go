@@ -278,13 +278,12 @@ func (c *Collection) Find(filter Filter, opts FindOptions) ([]bson.D, error) {
 	}
 	c.mu.RUnlock()
 
-	c.store.mu.Lock()
+	// Atomic stat bumps: the read path must not touch the store-wide lock.
 	if usedIndex {
-		c.store.statIndexHit++
+		c.store.statIndexHit.Add(1)
 	} else {
-		c.store.statScans++
+		c.store.statScans.Add(1)
 	}
-	c.store.mu.Unlock()
 
 	sortDocs(out, opts.Sort)
 	out = applyWindow(out, opts.Skip, opts.Limit)

@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"mystore/internal/bson"
 	"mystore/internal/wal"
@@ -37,6 +38,12 @@ type Options struct {
 	// ReadOnly rejects all mutations; slave replicas set this and apply
 	// ops through the replication channel instead.
 	ReadOnly bool
+	// SerializeWritePath reverts to the seed write path: validation, BSON
+	// encoding, WAL append (with its fsync), apply, and the replication
+	// hook all run under one global writeMu. Kept for the write-path
+	// ablation bench; the default path keeps only append+apply under
+	// writeMu.
+	SerializeWritePath bool
 }
 
 // Op is one logical mutation, as written to the WAL and shipped to slaves.
@@ -52,24 +59,41 @@ type Op struct {
 
 // Store is a document database instance. All exported methods are safe for
 // concurrent use.
+//
+// Locking protocol (see DESIGN.md): writeMu serializes the WAL append and
+// in-memory apply of every mutation, which is what makes WAL order equal
+// apply order; mu guards the collection map and the closed flag; pubMu
+// guards the replication hook and the in-order publish queue. The write
+// path holds writeMu only for the authoritative re-check, the buffered WAL
+// append, and the apply — validation, BSON encoding, the durability wait
+// (where group commit coalesces fsyncs across writers) and the replication
+// fan-out all happen outside it.
 type Store struct {
 	writeMu sync.Mutex // serializes mutations so WAL order == apply order
 	mu      sync.RWMutex
 	opts    Options
 	log     *wal.Log
 	colls   map[string]*Collection
-	onOp    func(Op) // replication hook, called in apply order under writeMu
-	seq     uint64
+	seq     uint64 // guarded by writeMu
 	closed  bool
 
-	statScans    uint64
-	statIndexHit uint64
+	// Replication publish queue: ops are delivered to onOp in seq order,
+	// off writeMu, and synchronously (mutate returns only after its own op
+	// has been delivered).
+	pubMu   sync.Mutex
+	pubCond *sync.Cond
+	pubNext uint64   // seq of the next op to deliver, 1-based
+	onOp    func(Op) // replication hook, guarded by pubMu
+
+	statScans    atomic.Uint64
+	statIndexHit atomic.Uint64
 }
 
 // Open opens a store. With a Dir it loads the latest snapshot (if any) and
 // replays the WAL; without one it is purely in-memory.
 func Open(opts Options) (*Store, error) {
-	s := &Store{opts: opts, colls: make(map[string]*Collection)}
+	s := &Store{opts: opts, colls: make(map[string]*Collection), pubNext: 1}
+	s.pubCond = sync.NewCond(&s.pubMu)
 	if opts.Dir == "" {
 		return s, nil
 	}
@@ -104,22 +128,30 @@ func Open(opts Options) (*Store, error) {
 }
 
 // SetReplicationHook installs fn to receive every mutation in apply order.
-// Pass nil to remove. The hook runs synchronously inside the write path.
+// Pass nil to remove. The hook runs synchronously inside the write path:
+// when a mutation returns, its op has been delivered.
 func (s *Store) SetReplicationHook(fn func(Op)) {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
+	s.pubMu.Lock()
+	defer s.pubMu.Unlock()
 	s.onOp = fn
 }
 
 // C returns the named collection, creating it on first use (the MongoDB
-// behaviour the paper's record examples rely on).
+// behaviour the paper's record examples rely on). The RLock fast path keeps
+// the hot case — the collection already exists — off the write lock.
 func (s *Store) C(name string) *Collection {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if c, ok := s.colls[name]; ok {
+	s.mu.RLock()
+	c, ok := s.colls[name]
+	s.mu.RUnlock()
+	if ok {
 		return c
 	}
-	c := newCollection(s, name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.colls[name]; ok { // double-check: we raced another creator
+		return c
+	}
+	c = newCollection(s, name)
 	s.colls[name] = c
 	return c
 }
@@ -142,8 +174,6 @@ func (s *Store) DropCollection(name string) error {
 
 // mutate validates, logs, applies and publishes one op.
 func (s *Store) mutate(op Op) error {
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 	s.mu.RLock()
 	closed, readOnly := s.closed, s.opts.ReadOnly
 	s.mu.RUnlock()
@@ -153,11 +183,99 @@ func (s *Store) mutate(op Op) error {
 	if readOnly {
 		return ErrReadOnly
 	}
-	return s.commitLocked(op)
+	if s.opts.SerializeWritePath {
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+		return s.commitSerialized(op)
+	}
+
+	// Optimistic pre-check outside the write lock: rejects the common error
+	// cases (duplicate _id, missing update target) without serializing. It
+	// is advisory only — a concurrent writer can invalidate it — so the
+	// authoritative re-check below runs under writeMu before anything
+	// reaches the WAL.
+	if err := s.checkOp(op); err != nil {
+		return err
+	}
+	// BSON-encode outside the lock; it is the expensive part of the old
+	// critical section.
+	var rec []byte
+	if s.log != nil {
+		var err error
+		rec, err = bson.Marshal(encodeOp(op))
+		if err != nil {
+			return err
+		}
+	}
+
+	s.writeMu.Lock()
+	s.mu.RLock()
+	closed = s.closed
+	s.mu.RUnlock()
+	if closed {
+		s.writeMu.Unlock()
+		return ErrClosed
+	}
+	if err := s.checkOp(op); err != nil {
+		s.writeMu.Unlock()
+		return err
+	}
+	var lsn wal.LSN
+	if s.log != nil {
+		var err error
+		// Buffered append only: the fsync wait happens after writeMu is
+		// released, so concurrent writers form one group-commit cohort
+		// instead of serializing their fsyncs behind the apply lock.
+		lsn, err = s.log.AppendNoWait(rec)
+		if err != nil {
+			s.writeMu.Unlock()
+			return err
+		}
+	}
+	if err := s.applyLocked(op); err != nil {
+		// checkOp guarantees this cannot happen; if it does, the in-memory
+		// state and WAL have diverged and continuing would corrupt data.
+		panic(fmt.Sprintf("docstore: apply after successful check failed: %v", err))
+	}
+	s.seq++
+	op.Seq = s.seq
+	s.writeMu.Unlock()
+
+	var syncErr error
+	if s.log != nil {
+		syncErr = s.log.WaitDurable(lsn)
+	}
+	// Publish even when the durability wait failed: pubNext must advance or
+	// every later op would block forever. A failed fsync poisons the log, so
+	// the store is on its way down anyway.
+	s.publish(op)
+	return syncErr
 }
 
-// commitLocked logs and applies op. Caller holds writeMu.
-func (s *Store) commitLocked(op Op) error {
+// publish delivers op to the replication hook in seq order. Sequencing on
+// pubNext preserves apply order even though callers reach here outside
+// writeMu in arbitrary interleavings; each caller blocks until its own op is
+// delivered, keeping the hook synchronous.
+func (s *Store) publish(op Op) {
+	s.pubMu.Lock()
+	for s.pubNext != op.Seq {
+		s.pubCond.Wait()
+	}
+	hook := s.onOp
+	s.pubMu.Unlock()
+	if hook != nil {
+		hook(op)
+	}
+	s.pubMu.Lock()
+	s.pubNext++
+	s.pubCond.Broadcast()
+	s.pubMu.Unlock()
+}
+
+// commitSerialized is the seed write path, kept for the write-path ablation:
+// everything — check, encode, WAL append with fsync, apply, hook — under
+// writeMu. Caller holds writeMu.
+func (s *Store) commitSerialized(op Op) error {
 	// Validate by dry-applying before logging, so the WAL never holds a
 	// rejected op (e.g. a duplicate key insert).
 	if err := s.checkOp(op); err != nil {
@@ -179,8 +297,12 @@ func (s *Store) commitLocked(op Op) error {
 	}
 	s.seq++
 	op.Seq = s.seq
-	if s.onOp != nil {
-		s.onOp(op)
+	s.pubMu.Lock()
+	hook := s.onOp
+	s.pubNext++ // keep the publish queue consistent with seq
+	s.pubMu.Unlock()
+	if hook != nil {
+		hook(op)
 	}
 	return nil
 }
@@ -189,26 +311,35 @@ func (s *Store) commitLocked(op Op) error {
 // read-only check. Ops must arrive in master order.
 func (s *Store) ApplyReplicated(op Op) error {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 	s.mu.RLock()
 	closed := s.closed
 	s.mu.RUnlock()
 	if closed {
+		s.writeMu.Unlock()
 		return ErrClosed
 	}
 	if err := s.checkOp(op); err != nil {
+		s.writeMu.Unlock()
 		return err
 	}
+	var lsn wal.LSN
 	if s.log != nil {
 		rec, err := bson.Marshal(encodeOp(op))
 		if err != nil {
+			s.writeMu.Unlock()
 			return err
 		}
-		if _, err := s.log.Append(rec); err != nil {
+		if lsn, err = s.log.AppendNoWait(rec); err != nil {
+			s.writeMu.Unlock()
 			return err
 		}
 	}
-	return s.applyLocked(op)
+	err := s.applyLocked(op)
+	s.writeMu.Unlock()
+	if err == nil && s.log != nil {
+		err = s.log.WaitDurable(lsn)
+	}
+	return err
 }
 
 // checkOp verifies op can apply cleanly.
@@ -263,7 +394,7 @@ type Stats struct {
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	st := Stats{Collections: len(s.colls), IndexHits: s.statIndexHit, Scans: s.statScans}
+	st := Stats{Collections: len(s.colls), IndexHits: s.statIndexHit.Load(), Scans: s.statScans.Load()}
 	for _, c := range s.colls {
 		c.mu.RLock()
 		st.Documents += c.primary.Len()
@@ -271,6 +402,16 @@ func (s *Store) Stats() Stats {
 		c.mu.RUnlock()
 	}
 	return st
+}
+
+// WALStats reports the write-ahead log's commit counters (appends, fsyncs,
+// group-commit batch sizes). The second result is false for an in-memory
+// store, which has no log.
+func (s *Store) WALStats() (wal.SyncStats, bool) {
+	if s.log == nil {
+		return wal.SyncStats{}, false
+	}
+	return s.log.Stats(), true
 }
 
 // Close flushes and closes the store.

@@ -15,14 +15,16 @@ import (
 	"mystore/internal/transport"
 )
 
-// AblationResult collects the six design-choice studies DESIGN.md §5 lists.
+// AblationResult collects the design-choice studies DESIGN.md §5 lists plus
+// the A7 write-path study.
 type AblationResult struct {
-	VNodes VNodesAblation
-	NWR    []NWRAblationRow
-	Hints  HintsAblation
-	Cache  CacheAblation
-	Gossip GossipAblation
-	Pool   PoolAblation
+	VNodes    VNodesAblation
+	NWR       []NWRAblationRow
+	Hints     HintsAblation
+	Cache     CacheAblation
+	Gossip    GossipAblation
+	Pool      PoolAblation
+	WritePath WritePathAblation
 }
 
 // String renders every ablation.
@@ -39,6 +41,7 @@ func (r AblationResult) String() string {
 	b.WriteString("\n" + r.Cache.String())
 	b.WriteString("\n" + r.Gossip.String())
 	b.WriteString("\n" + r.Pool.String())
+	b.WriteString("\n" + r.WritePath.String())
 	return b.String()
 }
 
@@ -390,6 +393,9 @@ func RunAblations(scale Scale) (AblationResult, error) {
 	}
 	result.Gossip = runGossipAblation()
 	if result.Pool, err = runPoolAblation(300); err != nil {
+		return result, err
+	}
+	if result.WritePath, err = RunWritePathAblation(64, scale.PutItems); err != nil {
 		return result, err
 	}
 	return result, nil

@@ -9,6 +9,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -150,28 +151,21 @@ func (h *Histogram) CumulativeWithin(thresholds []time.Duration) []int {
 	return out
 }
 
-// Counter is a concurrency-safe monotonically increasing counter.
+// Counter is a concurrency-safe monotonically increasing counter. It is
+// lock-free so hot paths (WAL appends, cache lookups) can bump it without
+// contending: the zero value is ready to use.
 type Counter struct {
-	mu sync.Mutex
-	n  int64
+	n atomic.Int64
 }
 
 // Add increments the counter by delta.
-func (c *Counter) Add(delta int64) {
-	c.mu.Lock()
-	c.n += delta
-	c.mu.Unlock()
-}
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 
 // Inc increments the counter by one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() { c.n.Add(1) }
 
 // Value returns the current count.
-func (c *Counter) Value() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.n
-}
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Throughput summarizes a timed run: bytes moved, operations completed and
 // the wall-clock window, from which it derives MB/s and requests per second.

@@ -36,6 +36,11 @@ type TCPOptions struct {
 	// the paper's connection pool exists to avoid (§5.1); the ablation
 	// bench measures the difference.
 	DisablePool bool
+	// DisableMux reverts to the one-call-per-connection mode: a call checks
+	// a pooled connection out for its whole round trip. The default
+	// multiplexed mode pipelines many in-flight calls over one connection
+	// per peer (see mux.go). Kept for the write-path ablation bench.
+	DisableMux bool
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -57,12 +62,13 @@ type TCPTransport struct {
 	listener net.Listener
 	addr     string
 
-	mu      sync.Mutex
-	handler Handler
-	pools   map[string][]net.Conn
-	serving map[net.Conn]struct{}
-	closed  bool
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	handler  Handler
+	pools    map[string][]net.Conn
+	muxConns map[string]*muxConn
+	serving  map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // ListenTCP starts a transport listening on addr ("host:port"; ":0" picks a
@@ -77,6 +83,7 @@ func ListenTCP(addr string, opts TCPOptions) (*TCPTransport, error) {
 		listener: ln,
 		addr:     ln.Addr().String(),
 		pools:    make(map[string][]net.Conn),
+		muxConns: make(map[string]*muxConn),
 		serving:  make(map[net.Conn]struct{}),
 	}
 	t.wg.Add(1)
@@ -122,40 +129,27 @@ func (t *TCPTransport) serveConn(conn net.Conn) {
 		delete(t.serving, conn)
 		t.mu.Unlock()
 	}()
-	for {
-		frame, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		req, err := bson.Unmarshal(frame)
-		if err != nil {
-			return // protocol violation: drop the connection
-		}
-		t.mu.Lock()
-		h := t.handler
-		t.mu.Unlock()
+	// Mode sniff: a mux client opens with the "MUX1" magic; a legacy client's
+	// first 4 bytes are a length prefix (first byte ≤ 0x03 under the 64 MiB
+	// frame limit), so the two are unambiguous.
+	var lead [4]byte
+	if _, err := io.ReadFull(conn, lead[:]); err != nil {
+		return
+	}
+	if string(lead[:]) == muxMagic {
+		t.serveMux(conn)
+		return
+	}
+	t.serveLegacy(conn, lead)
+}
 
-		var resp bson.D
-		if h == nil {
-			resp = bson.D{{Key: "err", Value: ErrNoHandler.Error()}}
-		} else {
-			msg := Message{
-				Type: req.StringOr("type", ""),
-				From: req.StringOr("from", ""),
-			}
-			if b, ok := req.Get("body"); ok {
-				if body, isDoc := b.(bson.D); isDoc {
-					msg.Body = body
-				}
-			}
-			body, herr := h(context.Background(), msg)
-			if herr != nil {
-				resp = bson.D{{Key: "err", Value: herr.Error()}}
-			} else {
-				resp = bson.D{{Key: "body", Value: body}}
-			}
-		}
-		if err := writeFrame(conn, resp); err != nil {
+// serveLegacy answers one-frame-per-call clients; lead holds the already-read
+// length prefix of the first request.
+func (t *TCPTransport) serveLegacy(conn net.Conn, lead [4]byte) {
+	frame, err := readFrameBody(conn, lead)
+	for ; err == nil; frame, err = readFrame(conn) {
+		resp := t.handleRequest(frame)
+		if werr := writeFrame(conn, resp); werr != nil {
 			return
 		}
 	}
@@ -173,6 +167,10 @@ func (t *TCPTransport) Call(ctx context.Context, to string, msg Message) (bson.D
 	deadline, hasDeadline := ctx.Deadline()
 	if !hasDeadline {
 		deadline = time.Now().Add(t.opts.CallTimeout)
+	}
+
+	if !t.opts.DisableMux {
+		return t.callMux(ctx, to, msg, deadline)
 	}
 
 	conn, err := t.getConn(to)
@@ -276,6 +274,8 @@ func (t *TCPTransport) Close() error {
 		}
 	}
 	t.pools = make(map[string][]net.Conn)
+	muxConns := t.muxConns
+	t.muxConns = make(map[string]*muxConn)
 	// Force-close active server connections: an idle peer keeps its pooled
 	// connection open, which would otherwise park serveConn in readFrame
 	// forever.
@@ -283,6 +283,10 @@ func (t *TCPTransport) Close() error {
 		c.Close()
 	}
 	t.mu.Unlock()
+	// Fail outstanding multiplexed calls so their waiters return ErrClosed.
+	for _, mc := range muxConns {
+		mc.fail(ErrClosed)
+	}
 	err := t.listener.Close()
 	t.wg.Wait()
 	return err
@@ -307,6 +311,12 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
+	return readFrameBody(r, hdr)
+}
+
+// readFrameBody finishes reading a frame whose length prefix is already in
+// hdr (the server's mode sniff consumes it before dispatching).
+func readFrameBody(r io.Reader, hdr [4]byte) ([]byte, error) {
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)

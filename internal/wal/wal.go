@@ -27,6 +27,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
+
+	"mystore/internal/metrics"
 )
 
 const (
@@ -44,12 +47,37 @@ type Options struct {
 	// SegmentSize is the byte size at which a new segment file is started.
 	// Zero means 8 MiB.
 	SegmentSize int64
-	// SyncEveryAppend fsyncs after every append. The experiments run with
-	// this off (matching MongoDB 1.6's default non-durable writes); the
-	// crash-recovery tests turn it on.
+	// SyncEveryAppend makes every append durable before it returns. The
+	// experiments run with this off (matching MongoDB 1.6's default
+	// non-durable writes); the crash-recovery tests and durable deployments
+	// turn it on. With it on, concurrent appenders share fsyncs through the
+	// group-commit protocol unless GroupCommit.Disable reverts to one fsync
+	// per append.
 	SyncEveryAppend bool
 	// MaxRecordSize bounds one record. Zero means 32 MiB.
 	MaxRecordSize int
+	// GroupCommit tunes fsync coalescing under SyncEveryAppend.
+	GroupCommit GroupCommit
+}
+
+// GroupCommit configures the commit protocol used when SyncEveryAppend is
+// on: appenders write their record under the log lock, then wait for a
+// sync leader to make it durable. The first waiter becomes leader and
+// issues one fsync covering every record appended so far, so N concurrent
+// appenders cost ~1 fsync instead of N.
+type GroupCommit struct {
+	// MaxBatch is the waiter count that makes a leader sync immediately
+	// instead of waiting MaxDelay for more followers. Zero means 64.
+	MaxBatch int
+	// MaxDelay is how long a leader waits for more appenders to join its
+	// cohort before syncing. Zero means no wait: the leader syncs at once,
+	// batching whatever accumulated while the previous fsync ran (the
+	// classic self-clocking group commit, and the right default — an idle
+	// log gets per-append latency, a busy log gets big batches).
+	MaxDelay time.Duration
+	// Disable reverts to the seed behaviour: one fsync per append inside
+	// the append lock (kept for the write-path ablation bench).
+	Disable bool
 }
 
 func (o Options) withDefaults() Options {
@@ -58,6 +86,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRecordSize <= 0 {
 		o.MaxRecordSize = 32 << 20
+	}
+	if o.GroupCommit.MaxBatch <= 0 {
+		o.GroupCommit.MaxBatch = 64
 	}
 	return o
 }
@@ -79,6 +110,25 @@ type Log struct {
 	size   int64    // bytes written to active segment
 	next   LSN      // LSN the next appended record will receive
 	closed bool
+
+	// Group-commit state. Lock order: mu may be taken with syncMu NOT held
+	// by the same goroutine (a sync leader releases syncMu before touching
+	// mu); syncMu may be taken while holding mu (markDurable from
+	// rollSegment/Close). Never the reverse nesting.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncedLSN LSN   // every record with lsn <= syncedLSN is on stable storage
+	syncErr   error // a failed fsync poisons the log (its coverage is unknown)
+	syncing   bool  // a leader is currently running fsync
+	waiting   int   // appenders blocked in waitDurable
+
+	// Commit metrics, exposed via Stats: fsyncs-per-append and mean batch
+	// size are the two numbers the group-commit ablation tracks.
+	appends     metrics.Counter
+	fsyncs      metrics.Counter
+	batches     metrics.Counter // fsyncs that covered >= 1 new record
+	batchedRecs metrics.Counter // records made durable by those fsyncs
+	maxBatch    int64           // largest single-fsync batch, guarded by syncMu
 }
 
 // Open opens (creating if needed) the log in dir, scans existing segments,
@@ -89,6 +139,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, next: 1}
+	l.syncCond = sync.NewCond(&l.syncMu)
 
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -130,6 +181,7 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l.file = f
 	l.size = validBytes
+	l.syncedLSN = l.next - 1 // everything recovered from disk is durable
 	return l, nil
 }
 
@@ -210,6 +262,7 @@ func (l *Log) rollSegment() error {
 		if err := l.file.Close(); err != nil {
 			return err
 		}
+		l.markDurable(l.next - 1) // the outgoing segment is fully synced
 	}
 	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(l.next)), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
@@ -220,8 +273,29 @@ func (l *Log) rollSegment() error {
 	return nil
 }
 
-// Append writes one record and returns its LSN.
+// Append writes one record and returns its LSN. With SyncEveryAppend it
+// does not return until the record is on stable storage; concurrent
+// appenders share fsyncs through the group-commit protocol (one leader
+// syncs for the whole cohort) unless GroupCommit.Disable is set.
 func (l *Log) Append(rec []byte) (LSN, error) {
+	lsn, err := l.AppendNoWait(rec)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.SyncEveryAppend && !l.opts.GroupCommit.Disable {
+		if err := l.WaitDurable(lsn); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// AppendNoWait writes one record and returns its LSN without waiting for
+// durability. Callers that must not hold their own serialization lock
+// across an fsync (the docstore's write path) append with this inside the
+// lock and call WaitDurable after releasing it, which is what lets many
+// writers commit under one fsync.
+func (l *Log) AppendNoWait(rec []byte) (LSN, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -244,10 +318,14 @@ func (l *Log) Append(rec []byte) (LSN, error) {
 	if _, err := l.file.Write(buf); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	if l.opts.SyncEveryAppend {
+	l.appends.Inc()
+	if l.opts.SyncEveryAppend && l.opts.GroupCommit.Disable {
+		// Seed behaviour: one fsync per record, inside the append lock.
 		if err := l.file.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
+		l.fsyncs.Inc()
+		l.markDurable(l.next)
 	}
 	lsn := l.next
 	l.next++
@@ -255,14 +333,123 @@ func (l *Log) Append(rec []byte) (LSN, error) {
 	return lsn, nil
 }
 
+// WaitDurable blocks until the record at lsn is on stable storage. Without
+// SyncEveryAppend it is a no-op (the caller opted out of durability). The
+// first waiter becomes the sync leader: it optionally waits MaxDelay for
+// followers to accumulate (longer cohorts per fsync), issues one fsync
+// covering every record appended so far, and wakes everyone it covered.
+func (l *Log) WaitDurable(lsn LSN) error {
+	if !l.opts.SyncEveryAppend {
+		return nil
+	}
+	gc := l.opts.GroupCommit
+	l.syncMu.Lock()
+	l.waiting++
+	for {
+		if l.syncedLSN >= lsn {
+			l.waiting--
+			l.syncMu.Unlock()
+			return nil
+		}
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.waiting--
+			l.syncMu.Unlock()
+			return err
+		}
+		if !l.syncing {
+			l.leaderSync(gc)
+			continue // re-check under syncMu (leaderSync re-acquired it)
+		}
+		l.syncCond.Wait()
+	}
+}
+
+// leaderSync runs one group fsync. Called with syncMu held; returns with
+// syncMu held. The leader releases syncMu while it touches the file so
+// followers can enqueue, and — crucially — runs the fsync itself off the
+// append lock, so writers keep appending while the flush is in flight and
+// the next leader's cohort grows to cover them (the self-clocking batch).
+func (l *Log) leaderSync(gc GroupCommit) {
+	l.syncing = true
+	delay := gc.MaxDelay > 0 && l.waiting < gc.MaxBatch
+	l.syncMu.Unlock()
+	if delay {
+		time.Sleep(gc.MaxDelay)
+	}
+	l.mu.Lock()
+	f := l.file
+	target := l.next - 1
+	closed := l.closed
+	l.mu.Unlock()
+
+	var err error
+	if closed {
+		// Close() syncs before closing the file, so anything appended
+		// before it is already durable; markDurable in Close covers those
+		// waiters. Anyone left waiting raced Close and loses.
+		err = ErrClosed
+	} else {
+		// fsync outside l.mu: concurrent appends may land past target and
+		// be flushed early, which is harmless — syncedLSN only advances to
+		// target, a lower bound on what this fsync covered.
+		err = f.Sync()
+	}
+
+	l.syncMu.Lock()
+	l.syncing = false
+	if err != nil && target <= l.syncedLSN {
+		// The fd was fsynced and closed under us by a segment roll or
+		// Close; both mark their coverage durable first, so target is safe.
+		err = nil
+	} else if err == nil {
+		l.fsyncs.Inc()
+		if target > l.syncedLSN {
+			batch := int64(target - l.syncedLSN)
+			l.batches.Inc()
+			l.batchedRecs.Add(batch)
+			if batch > l.maxBatch {
+				l.maxBatch = batch
+			}
+			l.syncedLSN = target
+		}
+	}
+	if err != nil {
+		if !errors.Is(err, ErrClosed) {
+			err = fmt.Errorf("wal: sync: %w", err)
+		}
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+	}
+	l.syncCond.Broadcast()
+}
+
+// markDurable records that every LSN <= upto is on stable storage and wakes
+// waiters. Callers hold l.mu (rollSegment, Close) or nothing (Sync).
+func (l *Log) markDurable(upto LSN) {
+	l.syncMu.Lock()
+	if upto > l.syncedLSN {
+		l.syncedLSN = upto
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
 // Sync flushes the active segment to stable storage.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	return l.file.Sync()
+	err := l.file.Sync()
+	if err == nil {
+		l.fsyncs.Inc()
+		l.markDurable(l.next - 1)
+	}
+	l.mu.Unlock()
+	return err
 }
 
 // NextLSN returns the LSN the next appended record will receive.
@@ -383,5 +570,31 @@ func (l *Log) Close() error {
 		l.file.Close()
 		return err
 	}
+	l.markDurable(l.next - 1) // close's fsync covers every appended record
 	return l.file.Close()
+}
+
+// SyncStats snapshots the commit counters. FsyncsPerAppend =
+// Fsyncs/Appends is the group-commit headline number; BatchedRecords /
+// Batches gives the mean records per coalesced fsync.
+type SyncStats struct {
+	Appends        int64 // records appended
+	Fsyncs         int64 // fsync syscalls issued
+	Batches        int64 // group fsyncs that covered at least one record
+	BatchedRecords int64 // records made durable by those group fsyncs
+	MaxBatch       int64 // largest single-fsync cohort observed
+}
+
+// Stats returns a snapshot of the commit counters.
+func (l *Log) Stats() SyncStats {
+	l.syncMu.Lock()
+	mb := l.maxBatch
+	l.syncMu.Unlock()
+	return SyncStats{
+		Appends:        l.appends.Value(),
+		Fsyncs:         l.fsyncs.Value(),
+		Batches:        l.batches.Value(),
+		BatchedRecords: l.batchedRecs.Value(),
+		MaxBatch:       mb,
+	}
 }

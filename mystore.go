@@ -32,6 +32,7 @@ import (
 	"mystore/internal/docstore"
 	"mystore/internal/nwr"
 	"mystore/internal/transport"
+	"mystore/internal/wal"
 )
 
 // Re-exported document and query types, so applications need only this
@@ -97,6 +98,16 @@ type ClusterOptions struct {
 	GossipInterval time.Duration
 	// DataDir, when set, persists node stores under DataDir/node-<i>.
 	DataDir string
+	// Durable makes every store mutation fsync before acknowledging
+	// (wal SyncEveryAppend). Only meaningful with DataDir. Concurrent
+	// writers share fsyncs through WAL group commit.
+	Durable bool
+	// DisableGroupCommit reverts durable appends to one fsync each
+	// (write-path ablation).
+	DisableGroupCommit bool
+	// SerializeWritePath reverts node stores to the single-lock write path
+	// (write-path ablation).
+	SerializeWritePath bool
 	// DisableHints turns hinted handoff off (ablation benches).
 	DisableHints bool
 }
@@ -193,10 +204,17 @@ func (c *Cluster) nodeConfig(i int) cluster.Config {
 		dir = fmt.Sprintf("%s/node-%d", c.opts.DataDir, i)
 	}
 	return cluster.Config{
-		Seeds:          c.seeds,
-		Weight:         weight,
-		NWR:            nwr.Config{N: c.opts.N, W: c.opts.W, R: c.opts.R, DisableHints: c.opts.DisableHints},
-		StoreDir:       dir,
+		Seeds:    c.seeds,
+		Weight:   weight,
+		NWR:      nwr.Config{N: c.opts.N, W: c.opts.W, R: c.opts.R, DisableHints: c.opts.DisableHints},
+		StoreDir: dir,
+		Store: docstore.Options{
+			WAL: wal.Options{
+				SyncEveryAppend: c.opts.Durable,
+				GroupCommit:     wal.GroupCommit{Disable: c.opts.DisableGroupCommit},
+			},
+			SerializeWritePath: c.opts.SerializeWritePath,
+		},
 		GossipInterval: c.opts.GossipInterval,
 	}
 }
@@ -348,6 +366,8 @@ type NodeOptions struct {
 	N, W, R int
 	// DataDir persists the store; empty means in-memory.
 	DataDir string
+	// Durable fsyncs every mutation before acknowledging (group-committed).
+	Durable bool
 	// GossipInterval defaults to 1s.
 	GossipInterval time.Duration
 }
@@ -373,6 +393,7 @@ func ListenNode(ctx context.Context, addr string, opts NodeOptions) (*Node, erro
 		Weight:         opts.Weight,
 		NWR:            nwr.Config{N: opts.N, W: opts.W, R: opts.R},
 		StoreDir:       opts.DataDir,
+		Store:          docstore.Options{WAL: wal.Options{SyncEveryAppend: opts.Durable}},
 		GossipInterval: opts.GossipInterval,
 	})
 	if err != nil {

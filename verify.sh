@@ -1,0 +1,10 @@
+#!/bin/sh
+# verify.sh — the repo's tier-1 gate: vet, build, full test suite, and the
+# race detector on the write-path packages (docstore, wal, transport, nwr).
+# CI and pre-commit both run exactly this.
+set -eux
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/docstore ./internal/wal ./internal/transport ./internal/nwr
