@@ -1,4 +1,4 @@
-.PHONY: verify test bench
+.PHONY: verify test bench chaos
 
 verify:
 	./verify.sh
@@ -8,3 +8,10 @@ test:
 
 bench:
 	go test -bench=. -benchmem
+
+# chaos runs the resilience gate: randomized fault schedules, crash-restarts
+# with WAL recovery, and partitions; exits non-zero on any lost acked write,
+# undrained hint queue, or deadline overrun.
+chaos:
+	go run ./cmd/mystore-bench -quick chaos
+	go run ./cmd/mystore-bench -quick -seed 42 chaos

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"mystore/internal/auth"
 	"mystore/internal/cache"
@@ -54,6 +55,10 @@ type GatewayOptions struct {
 	Auth *auth.TokenDB
 	// Workers sizes the logical-process pool.
 	Workers int
+	// RequestTimeout caps each request's end-to-end time; the deadline
+	// propagates through the backend to the storage nodes. Zero applies the
+	// REST layer's default; negative disables the cap.
+	RequestTimeout time.Duration
 }
 
 // Gateway bundles the REST gateway with its cache tier.
@@ -74,9 +79,10 @@ func NewGateway(backend rest.Backend, opts GatewayOptions) *Gateway {
 		tier = cache.NewTier(opts.CacheServers, per/int64(opts.CacheServers))
 	}
 	gw := rest.NewGateway(backend, rest.Config{
-		Cache:   tier,
-		Auth:    opts.Auth,
-		Workers: opts.Workers,
+		Cache:          tier,
+		Auth:           opts.Auth,
+		Workers:        opts.Workers,
+		RequestTimeout: opts.RequestTimeout,
 	})
 	return &Gateway{Gateway: gw, Cache: tier}
 }

@@ -7,7 +7,11 @@
 //	mystore-bench [flags] <experiment>
 //
 // Experiments: fig11, fig12, fig13 (covers Fig 14 too), fig15, fig16,
-// fig17, context, soak, ablate, all.
+// fig17, context, soak, chaos, ablate, all. The chaos experiment is the
+// resilience gate: randomized Table 2 faults plus crash-restarts and
+// partitions, exiting non-zero if any acked write is lost, any hint queue
+// fails to drain, or any request overruns its deadline by more than one
+// replica call timeout.
 //
 // Flags:
 //
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"mystore/internal/experiments"
@@ -40,7 +45,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|ablate|all")
+		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|chaos|ablate|all")
 		os.Exit(2)
 	}
 
@@ -100,10 +105,18 @@ func main() {
 	run("fig17", func() (fmt.Stringer, error) { return experiments.RunFig17(scale) })
 	run("context", func() (fmt.Stringer, error) { return experiments.RunContext(scale) })
 	run("soak", func() (fmt.Stringer, error) { return experiments.RunSoak(scale) })
+	run("chaos", func() (fmt.Stringer, error) {
+		res, err := experiments.RunChaos(scale, filepath.Join(tmp, "chaos"))
+		if err == nil && res.Violations() > 0 {
+			fmt.Println(res.String())
+			err = fmt.Errorf("chaos: %d invariant violations", res.Violations())
+		}
+		return res, err
+	})
 	run("ablate", func() (fmt.Stringer, error) { return experiments.RunAblations(scale) })
 
 	switch which {
-	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "ablate", "all":
+	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "chaos", "ablate", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)

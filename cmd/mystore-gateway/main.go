@@ -7,11 +7,15 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mystore"
@@ -24,6 +28,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 256<<20, "total cache capacity in bytes")
 	workers := flag.Int("workers", 32, "logical worker processes")
 	authUsers := flag.String("auth-users", "", "comma-separated users to enable signatures for (empty disables auth)")
+	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline propagated to the storage nodes")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 
 	var nodeList []string
@@ -40,9 +46,10 @@ func main() {
 	}
 
 	opts := mystore.GatewayOptions{
-		CacheServers: *cacheServers,
-		CacheBytes:   *cacheBytes,
-		Workers:      *workers,
+		CacheServers:   *cacheServers,
+		CacheBytes:     *cacheBytes,
+		Workers:        *workers,
+		RequestTimeout: *requestTimeout,
 	}
 	if *authUsers != "" {
 		db := mystore.NewTokenDB()
@@ -63,8 +70,41 @@ func main() {
 	gw := mystore.NewGateway(mystore.ClusterBackend{Client: client}, opts)
 	defer gw.Close()
 
+	// A configured server rather than http.ListenAndServe: header and body
+	// read deadlines bound slow-loris clients, the write deadline leaves room
+	// for the request timeout plus response transmission, and idle keep-alive
+	// connections are reaped.
+	writeTimeout := 30 * time.Second
+	if *requestTimeout > 0 {
+		writeTimeout += *requestTimeout
+	}
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
 	fmt.Printf("gateway on %s -> cluster %v (cache: %d servers)\n", *listen, nodeList, *cacheServers)
-	if err := http.ListenAndServe(*listen, gw.Handler()); err != nil {
+	select {
+	case err := <-errc:
 		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish within
+	// the grace period, then exit.
+	fmt.Println("draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
 	}
 }

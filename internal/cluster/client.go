@@ -9,6 +9,7 @@ import (
 
 	"mystore/internal/bson"
 	"mystore/internal/docstore"
+	"mystore/internal/resilience"
 	"mystore/internal/transport"
 )
 
@@ -36,9 +37,18 @@ type ClientOptions struct {
 	ConnectTimeout time.Duration
 	// CallTimeout bounds each data operation. Zero means 10s.
 	CallTimeout time.Duration
-	// AutoRetry, when true, retries a failed operation once on the next
-	// node in rotation.
+	// AutoRetry, when true, retries a failed operation on the next node in
+	// rotation (legacy switch: equivalent to Attempts=2).
 	AutoRetry bool
+	// Attempts is the total number of tries per operation; it overrides
+	// AutoRetry when set. Zero defers to AutoRetry (2 attempts) or 1.
+	Attempts int
+	// RetryBackoff spaces the attempts with jittered exponential delays.
+	// The zero value uses the resilience package defaults.
+	RetryBackoff resilience.Backoff
+	// Breakers, when non-nil, skips nodes whose breaker is open when
+	// picking, and feeds call outcomes back per node.
+	Breakers *resilience.BreakerSet
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -47,6 +57,12 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	}
 	if o.CallTimeout <= 0 {
 		o.CallTimeout = 10 * time.Second
+	}
+	if o.Attempts <= 0 {
+		o.Attempts = 1
+		if o.AutoRetry {
+			o.Attempts = 2
+		}
 	}
 	return o
 }
@@ -85,31 +101,55 @@ func Connect(ctx context.Context, tr transport.Transport, nodes []string, opts C
 	return nil, fmt.Errorf("%w: connection test failed everywhere: %v", ErrNoNodes, lastErr)
 }
 
-// pick returns the next node in rotation.
-func (c *Client) pick() string {
+// pick returns the next node in rotation, preferring nodes that have not
+// just failed this operation (avoid) and whose breaker admits calls. When
+// every node is excluded it falls back to plain rotation — trying a
+// doubtful node beats failing without trying at all.
+func (c *Client) pick(avoid map[string]bool) string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	node := c.nodes[c.next%len(c.nodes)]
+	n := len(c.nodes)
+	for i := 0; i < n; i++ {
+		node := c.nodes[c.next%n]
+		c.next++
+		if avoid[node] {
+			continue
+		}
+		if c.opts.Breakers != nil && !c.opts.Breakers.Allow(node) {
+			continue
+		}
+		return node
+	}
+	node := c.nodes[c.next%n]
 	c.next++
 	return node
 }
 
-// call performs one operation, optionally retrying on the next node.
+// call performs one operation with up to opts.Attempts tries, jittered
+// exponential backoff between them, skipping nodes that already failed this
+// operation while others remain.
 func (c *Client) call(ctx context.Context, msgType string, body bson.D) (bson.D, error) {
-	attempts := 1
-	if c.opts.AutoRetry {
-		attempts = 2
-	}
+	var failed map[string]bool
 	var lastErr error
-	for i := 0; i < attempts; i++ {
-		node := c.pick()
+	for i := 0; i < c.opts.Attempts; i++ {
+		if i > 0 {
+			if resilience.Sleep(ctx, c.opts.RetryBackoff.Delay(i-1, nil)) != nil {
+				break // caller gave up mid-backoff
+			}
+		}
+		node := c.pick(failed)
 		cctx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
 		resp, err := c.tr.Call(cctx, node, transport.Message{Type: msgType, Body: body})
 		cancel()
+		c.opts.Breakers.Report(node, err == nil || transport.IsRemote(err))
 		if err == nil {
 			return resp, nil
 		}
 		lastErr = err
+		if failed == nil {
+			failed = make(map[string]bool, c.opts.Attempts)
+		}
+		failed[node] = true
 		// Remote application errors will not improve on another node if
 		// they are data errors, but quorum failures might; retry anyway.
 	}

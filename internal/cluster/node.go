@@ -20,6 +20,7 @@ import (
 	"mystore/internal/docstore"
 	"mystore/internal/gossip"
 	"mystore/internal/nwr"
+	"mystore/internal/resilience"
 	"mystore/internal/ring"
 	"mystore/internal/transport"
 )
@@ -57,6 +58,12 @@ type Config struct {
 	Store docstore.Options
 	// GossipInterval is the gossip tick period (default 1s).
 	GossipInterval time.Duration
+	// Breakers tunes the per-peer circuit breakers every replica RPC is
+	// gated on; zero values take the resilience defaults.
+	Breakers resilience.BreakerConfig
+	// DisableBreakers leaves the circuit breakers unwired, so a dead peer
+	// costs a full CallTimeout per attempt again (ablations).
+	DisableBreakers bool
 	// Now injects a clock for deterministic simulations.
 	Now func() time.Time
 }
@@ -86,11 +93,14 @@ type Node struct {
 	gossiper *gossip.Gossiper
 	coord    *nwr.Coordinator
 
-	mu              sync.Mutex
-	closed          bool
-	rebalanceWanted bool
-	inRing          map[string]bool
-	tickCount       uint64
+	breakers *resilience.BreakerSet // nil when cfg.DisableBreakers
+
+	mu                 sync.Mutex
+	closed             bool
+	rebalanceWanted    bool
+	rebalanceNotBefore time.Time // retry cool-down after an incomplete pass
+	inRing             map[string]bool
+	tickCount          uint64
 }
 
 // NewNode builds and starts serving a node on tr. The node immediately
@@ -109,6 +119,16 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		store:  store,
 		ring:   ring.New(),
 		inRing: map[string]bool{},
+	}
+	if !cfg.DisableBreakers {
+		if cfg.NWR.Breakers == nil {
+			cfg.NWR.Breakers = resilience.NewBreakerSet(cfg.Breakers)
+		}
+		n.breakers = cfg.NWR.Breakers
+		if cfg.NWR.RetryBudget == nil {
+			cfg.NWR.RetryBudget = resilience.NewRetryBudget(0, 0)
+		}
+		n.cfg = cfg
 	}
 	n.gossiper = gossip.New(tr, gossip.Config{
 		Seeds:    cfg.Seeds,
@@ -151,6 +171,9 @@ func (n *Node) Gossiper() *gossip.Gossiper { return n.gossiper }
 // Ring exposes this node's membership view.
 func (n *Node) Ring() *ring.Ring { return n.ring }
 
+// Breakers exposes the per-peer circuit breakers (nil when disabled).
+func (n *Node) Breakers() *resilience.BreakerSet { return n.breakers }
+
 func (n *Node) addToRing(addr string, weight int) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -162,6 +185,7 @@ func (n *Node) addToRing(addr string, weight int) error {
 	}
 	n.inRing[addr] = true
 	n.rebalanceWanted = true
+	n.rebalanceNotBefore = time.Time{} // a real ring change rebalances now
 	return nil
 }
 
@@ -174,19 +198,27 @@ func (n *Node) removeFromRing(addr string) {
 	if err := n.ring.RemoveNode(addr); err == nil || errors.Is(err, ring.ErrNodeUnknown) {
 		delete(n.inRing, addr)
 		n.rebalanceWanted = true
+		n.rebalanceNotBefore = time.Time{}
 	}
 }
 
 // onGossipEvent reacts to believed status changes: long failures shrink the
-// ring and trigger re-replication; recoveries trigger hint writeback.
+// ring and trigger re-replication; recoveries trigger hint writeback. Every
+// classification also feeds the peer's circuit breaker, so a node-wide
+// belief translates into fast failovers on all RPC paths immediately.
 func (n *Node) onGossipEvent(e gossip.Event) {
 	switch e.New {
 	case gossip.StatusLongFail:
+		n.breakers.ObservePeer(e.Addr, resilience.PeerLongFail)
 		n.removeFromRing(e.Addr)
+	case gossip.StatusShortFail:
+		n.breakers.ObservePeer(e.Addr, resilience.PeerShortFail)
 	case gossip.StatusUp:
+		n.breakers.ObservePeer(e.Addr, resilience.PeerUp)
 		if e.Old == gossip.StatusShortFail || e.Old == gossip.StatusLongFail {
 			// A returning node gets its parked writes back (Fig 8) and, if
 			// it was removed, rejoins the ring on the next sync.
+			n.coord.NoteTargetUp(e.Addr)
 			go n.coord.DeliverHints(context.Background())
 		}
 	}
@@ -200,8 +232,10 @@ func (n *Node) Tick(ctx context.Context) {
 	n.syncMembership()
 	n.coord.DeliverHints(ctx)
 	n.mu.Lock()
-	wanted := n.rebalanceWanted
-	n.rebalanceWanted = false
+	wanted := n.rebalanceWanted && !n.cfg.Now().Before(n.rebalanceNotBefore)
+	if wanted {
+		n.rebalanceWanted = false
+	}
 	n.tickCount++
 	aeDue := n.tickCount%10 == 0
 	compactDue := n.tickCount%600 == 0
@@ -325,6 +359,8 @@ func (n *Node) statusDoc() bson.D {
 		{Key: "ringSize", Value: int64(n.ring.Len())},
 		{Key: "live", Value: liveArr},
 		{Key: "isSeed", Value: n.gossiper.IsSeed()},
+		{Key: "breakersOpen", Value: int64(n.breakers.OpenCount())},
+		{Key: "breakerFastFails", Value: n.breakers.Stats().FastFailures},
 	}
 }
 

@@ -19,7 +19,10 @@ import (
 //
 // The scan is one pass over the local records collection against the
 // current ring view. It returns how many records were pushed and how many
-// were dropped locally.
+// were dropped locally. A pass that could not complete a push — the new
+// owner unreachable, its breaker open — re-arms the rebalance flag, so the
+// next tick retries instead of stranding records on non-owners until the
+// next membership change.
 func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 	coll := n.store.C(nwr.RecordCollection)
 	docs, err := coll.Find(docstore.Filter{}, docstore.FindOptions{})
@@ -27,6 +30,7 @@ func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 		return 0, 0
 	}
 	self := n.Addr()
+	incomplete := false
 	for _, doc := range docs {
 		rec, err := nwr.RecordFromDoc(doc)
 		if err != nil {
@@ -51,8 +55,12 @@ func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 				if o == self {
 					continue
 				}
-				if n.ensureReplica(ctx, o, rec) {
+				sent, failed := n.ensureReplica(ctx, o, rec)
+				if sent {
 					pushed++
+				}
+				if failed {
+					incomplete = true
 				}
 			}
 			continue
@@ -61,8 +69,12 @@ func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 		// owners that lack it, then drop the local copy.
 		delivered := false
 		for _, o := range owners {
-			if n.ensureReplica(ctx, o, rec) {
+			sent, failed := n.ensureReplica(ctx, o, rec)
+			if sent {
 				pushed++
+			}
+			if failed {
+				incomplete = true
 			}
 			if n.hasReplica(ctx, o, rec) {
 				delivered = true
@@ -74,22 +86,37 @@ func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 					dropped++
 				}
 			}
+		} else {
+			incomplete = true
 		}
+	}
+	if incomplete {
+		// Retry, but after a cool-down: an immediate re-arm would make every
+		// tick re-scan the whole store while peers are still unreachable,
+		// starving the gossip ticks that share the tick loop.
+		n.mu.Lock()
+		n.rebalanceWanted = true
+		n.rebalanceNotBefore = n.cfg.Now().Add(10 * n.cfg.GossipInterval)
+		n.mu.Unlock()
 	}
 	return pushed, dropped
 }
 
 // ensureReplica pushes rec to owner if the owner lacks it or holds an older
-// version. It reports whether a push happened and succeeded.
-func (n *Node) ensureReplica(ctx context.Context, owner string, rec nwr.Record) bool {
+// version. It reports whether a push happened and succeeded, and whether the
+// owner's state could not be brought current (so the caller retries later).
+func (n *Node) ensureReplica(ctx context.Context, owner string, rec nwr.Record) (sent, failed bool) {
 	cur, found, err := n.coord.ReadReplicaFrom(ctx, owner, rec.Key)
 	if err != nil {
-		return false
+		return false, true
 	}
 	if found && !rec.Newer(cur) {
-		return false // already current
+		return false, false // already current
 	}
-	return n.coord.WriteReplicaTo(ctx, owner, rec)
+	if n.coord.WriteReplicaTo(ctx, owner, rec) {
+		return true, false
+	}
+	return false, true
 }
 
 // hasReplica reports whether owner currently holds rec's key at rec's

@@ -32,6 +32,7 @@ type Pool struct {
 	dispatched atomic.Int64
 	completed  atomic.Int64
 	failed     atomic.Int64
+	shed       atomic.Int64
 }
 
 type job struct {
@@ -45,6 +46,11 @@ var ErrClosed = errors.New("dispatch: pool is closed")
 
 // ErrQueueFull is returned when a worker's queue cannot accept more work.
 var ErrQueueFull = errors.New("dispatch: worker queue full")
+
+// ErrShed is returned for a queued request whose context expired before a
+// worker picked it up: its caller has already given up, so running it would
+// only add load exactly when the pool is saturated (load shedding).
+var ErrShed = errors.New("dispatch: request shed, deadline expired in queue")
 
 // NewPool starts n logical workers, each with queueDepth waiting slots
 // (zero means 64).
@@ -71,7 +77,9 @@ func (p *Pool) worker(q chan job) {
 		var err error
 		select {
 		case <-j.ctx.Done():
-			err = j.ctx.Err()
+			// Shed: the request sat in the backlog past its deadline.
+			p.shed.Add(1)
+			err = ErrShed
 		default:
 			err = j.req(j.ctx)
 		}
@@ -124,9 +132,10 @@ func (p *Pool) Do(ctx context.Context, req Request) error {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.queues) }
 
-// Stats reports dispatch counters.
+// Stats reports dispatch counters. Shed counts queued requests dropped
+// because their deadline expired before a worker reached them.
 type Stats struct {
-	Dispatched, Completed, Failed int64
+	Dispatched, Completed, Failed, Shed int64
 }
 
 // Stats returns a snapshot.
@@ -135,6 +144,7 @@ func (p *Pool) Stats() Stats {
 		Dispatched: p.dispatched.Load(),
 		Completed:  p.completed.Load(),
 		Failed:     p.failed.Load(),
+		Shed:       p.shed.Load(),
 	}
 }
 

@@ -167,3 +167,45 @@ func TestDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQueuedRequestShedAfterDeadline(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) error { //nolint:errcheck
+		close(started)
+		<-block
+		return nil
+	})
+	<-started
+
+	// Queue a request whose deadline will expire while the worker is still
+	// blocked, and read its true outcome from the done channel via a second
+	// goroutine that outlives the caller's deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	var ran atomic.Bool
+	outcome := make(chan error, 1)
+	go func() {
+		outcome <- p.Do(ctx, func(context.Context) error {
+			ran.Store(true)
+			return nil
+		})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the deadline lapse in-queue
+	close(block)                      // unblock the worker
+	if err := <-outcome; !errors.Is(err, ErrShed) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrShed or DeadlineExceeded", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for p.Stats().Shed == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ran.Load() {
+		t.Fatal("expired request must not run")
+	}
+	if p.Stats().Shed != 1 {
+		t.Fatalf("Shed = %d, want 1", p.Stats().Shed)
+	}
+}

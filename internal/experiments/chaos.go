@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mystore"
+	"mystore/internal/faults"
+)
+
+// ChaosResult reports a chaos soak: randomized Table 2 faults plus directed
+// node crash-restarts (WAL recovery on the same directory) and network
+// partitions, over a durable 5-node cluster, with the resilience invariants
+// checked after heal:
+//
+//  1. every acknowledged Put is readable with its exact value,
+//  2. all hint queues drain to zero,
+//  3. no request overran its deadline by more than one replica CallTimeout.
+type ChaosResult struct {
+	Duration      time.Duration
+	Ops           int64
+	AckedPuts     int64
+	OpFailures    int64 // availability events during chaos (allowed)
+	CrashRestarts int
+	Partitions    int
+	FaultsFired   map[faults.Kind]int64
+
+	LostWrites         int64 // invariant 1 violations
+	ValueViolations    int64 // successful mid-chaos read returned wrong bytes
+	HintsAtEnd         int   // invariant 2: must be 0
+	MaxOvershoot       time.Duration
+	DeadlineViolations int64 // invariant 3 violations
+	BreakersOpened     int64
+}
+
+// Violations totals the invariant breaches; zero means the soak passed.
+func (r ChaosResult) Violations() int64 {
+	return r.LostWrites + r.ValueViolations + int64(r.HintsAtEnd) + r.DeadlineViolations
+}
+
+// String summarizes the run.
+func (r ChaosResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos — %v of faults + %d crash-restarts + %d partitions over a durable 5-node cluster\n",
+		r.Duration.Round(time.Second), r.CrashRestarts, r.Partitions)
+	fmt.Fprintf(&b, "  ops %d (%d acked Puts), op failures during chaos %d (availability events, allowed)\n",
+		r.Ops, r.AckedPuts, r.OpFailures)
+	fmt.Fprintf(&b, "  faults fired: %v; breakers opened %d times\n", r.FaultsFired, r.BreakersOpened)
+	fmt.Fprintf(&b, "  invariant 1 — acked writes lost after heal:   %d\n", r.LostWrites)
+	fmt.Fprintf(&b, "  invariant 1b — wrong values served:           %d\n", r.ValueViolations)
+	fmt.Fprintf(&b, "  invariant 2 — hints left undelivered:         %d\n", r.HintsAtEnd)
+	fmt.Fprintf(&b, "  invariant 3 — deadline overruns > CallTimeout: %d (max overshoot %v)\n",
+		r.DeadlineViolations, r.MaxOvershoot.Round(time.Millisecond))
+	if r.Violations() == 0 {
+		fmt.Fprintf(&b, "  PASS: no acked write was lost\n")
+	} else {
+		fmt.Fprintf(&b, "  FAIL: %d invariant violations\n", r.Violations())
+	}
+	return b.String()
+}
+
+// chaosCallTimeout bounds each replica RPC during the soak; the deadline
+// invariant allows at most this much overshoot past an op's own deadline.
+const chaosCallTimeout = 300 * time.Millisecond
+
+// RunChaos drives the soak. dir hosts the nodes' durable stores (WAL +
+// snapshots); crash-restarted nodes recover from it.
+func RunChaos(scale Scale, dir string) (ChaosResult, error) {
+	scale = scale.withDefaults()
+	result := ChaosResult{Duration: 4 * scale.StepDuration, FaultsFired: map[faults.Kind]int64{}}
+	opTimeout := 4 * chaosCallTimeout
+
+	cl, err := mystore.StartCluster(mystore.ClusterOptions{
+		Nodes:              5,
+		DataDir:            dir,
+		Durable:            true,
+		ReplicaCallTimeout: chaosCallTimeout,
+		GossipInterval:     100 * time.Millisecond,
+	})
+	if err != nil {
+		return result, err
+	}
+	defer cl.Close()
+
+	// Table 2-shaped plan, with short delays so the compressed soak keeps
+	// moving; breakdowns are recovered during the heal phase.
+	inj := faults.NewInjector(faults.Plan{
+		faults.NetworkException: 0.05,
+		faults.DiskIOError:      0.002,
+		faults.BlockingProcess:  0.002,
+		faults.NodeBreakdown:    0.001,
+	}, scale.Seed)
+	inj.BlockDelay = 2 * time.Millisecond
+	inj.NetworkDelay = 2 * time.Millisecond
+
+	// chaosActive gates every injected fault. OnLocalOp closures are
+	// installed once per node lifetime — before the node serves traffic —
+	// and never reassigned, so flipping this flag is the only mutation.
+	// No simulated disks here: chaos measures survival, not service time,
+	// and disk queueing would conflate overload with failure.
+	var chaosActive atomic.Bool
+	chaosActive.Store(true)
+	wireNode := func(node *mystore.Node) {
+		addr := node.Addr()
+		node.Coordinator().OnLocalOp = func(op string, bytes int) error {
+			if !chaosActive.Load() || op == "read-transfer" {
+				return nil
+			}
+			_, err := inj.Roll(addr)
+			return err
+		}
+	}
+	cl.Network().SetFault(func(from, to, msgType string) error {
+		if chaosActive.Load() && (inj.IsDown(to) || inj.IsDown(from)) {
+			return faults.ErrNodeDown
+		}
+		return nil
+	})
+	for _, node := range cl.Nodes() {
+		wireNode(node)
+	}
+	client, err := cl.Client()
+	if err != nil {
+		return result, err
+	}
+
+	// Acked-write ledger: every key is written exactly once (unique per
+	// writer + sequence), so "readable with its exact value after heal" is
+	// unambiguous — no LWW tiebreak can excuse a miss.
+	var mu sync.Mutex
+	acked := map[string][]byte{}
+	var ops, ackedPuts, opFailures, valueViolations, deadlineViolations int64
+	var maxOvershoot int64 // nanos, atomically maxed
+
+	noteOvershoot := func(deadline time.Time) {
+		over := time.Since(deadline)
+		if over <= 0 {
+			return
+		}
+		for {
+			prev := atomic.LoadInt64(&maxOvershoot)
+			if int64(over) <= prev || atomic.CompareAndSwapInt64(&maxOvershoot, prev, int64(over)) {
+				break
+			}
+		}
+		if over > chaosCallTimeout {
+			atomic.AddInt64(&deadlineViolations, 1)
+		}
+	}
+
+	churnCtx, stopChurn := context.WithCancel(context.Background())
+	defer stopChurn()
+	var writerWG sync.WaitGroup
+	const writers = 6
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			rng := rand.New(rand.NewSource(scale.Seed + int64(w)*7919))
+			var mine []string // keys this writer has had acked
+			for seq := 0; churnCtx.Err() == nil; seq++ {
+				opCtx, cancel := context.WithTimeout(context.Background(), opTimeout)
+				deadline := time.Now().Add(opTimeout)
+				if len(mine) > 0 && rng.Intn(4) == 0 {
+					// Read back one of our own acked writes mid-chaos: errors
+					// are availability events, wrong bytes are violations.
+					key := mine[rng.Intn(len(mine))]
+					val, err := client.Get(opCtx, key)
+					noteOvershoot(deadline)
+					atomic.AddInt64(&ops, 1)
+					if err != nil {
+						atomic.AddInt64(&opFailures, 1)
+					} else {
+						mu.Lock()
+						want := acked[key]
+						mu.Unlock()
+						if !bytes.Equal(val, want) {
+							atomic.AddInt64(&valueViolations, 1)
+						}
+					}
+					cancel()
+					continue
+				}
+				key := fmt.Sprintf("chaos-%d-%06d", w, seq)
+				val := []byte(fmt.Sprintf("val-%d-%06d-%d", w, seq, rng.Int63()))
+				err := client.Put(opCtx, key, val)
+				noteOvershoot(deadline)
+				cancel()
+				atomic.AddInt64(&ops, 1)
+				if err != nil {
+					atomic.AddInt64(&opFailures, 1)
+					continue
+				}
+				atomic.AddInt64(&ackedPuts, 1)
+				mu.Lock()
+				acked[key] = val
+				mu.Unlock()
+				mine = append(mine, key)
+			}
+		}(w)
+	}
+
+	// The fault schedule: two cycles of crash → WAL-recovery restart →
+	// partition → heal, spread over the soak window. Node 0 is the gossip
+	// seed and is never crashed (the paper's deployment protects its seed
+	// the same way).
+	rng := rand.New(rand.NewSource(scale.Seed * 31))
+	step := result.Duration / 8
+	for cycle := 0; cycle < 2; cycle++ {
+		victim := 1 + rng.Intn(4)
+		if err := cl.CrashNode(victim); err != nil {
+			return result, fmt.Errorf("chaos: crash node %d: %w", victim, err)
+		}
+		time.Sleep(step)
+		if _, err := cl.RestartNodeFresh(victim, wireNode); err != nil {
+			return result, fmt.Errorf("chaos: restart node %d: %w", victim, err)
+		}
+		result.CrashRestarts++
+		time.Sleep(step)
+
+		a := 1 + rng.Intn(4)
+		b := 1 + rng.Intn(4)
+		for b == a {
+			b = 1 + rng.Intn(4)
+		}
+		addrs := cl.Addrs()
+		cl.Network().Partition(addrs[a], addrs[b])
+		result.Partitions++
+		time.Sleep(step)
+		cl.Network().Heal(addrs[a], addrs[b])
+		time.Sleep(step)
+	}
+	stopChurn()
+	writerWG.Wait()
+
+	// Heal: stop injecting, recover broken-down nodes, reopen everything,
+	// and let gossip reconverge.
+	chaosActive.Store(false)
+	for _, down := range inj.Down() {
+		inj.Recover(down)
+	}
+	for i := range cl.Nodes() {
+		cl.RestartNode(i)
+	}
+	cl.WaitConverged(10 * time.Second)
+
+	// Settle: drive the recovery machinery to completion rather than waiting
+	// on tick phase — writeback of parked hints, rebalance of records whose
+	// owners changed while nodes were out of the ring, and anti-entropy for
+	// whatever the first two missed.
+	settle := func() {
+		for _, node := range cl.Nodes() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			node.Coordinator().DeliverHints(sctx)
+			node.Rebalance(sctx)
+			node.AntiEntropyRound(sctx)
+			cancel()
+		}
+	}
+
+	// Invariant 2: hint queues must drain to zero.
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for {
+		settle()
+		total := 0
+		for _, node := range cl.Nodes() {
+			total += node.Coordinator().HintCount()
+		}
+		if total == 0 || time.Now().After(drainDeadline) {
+			result.HintsAtEnd = total
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// Invariant 1: every acked Put must be readable with its exact value.
+	// Recovery is allowed bounded time; a write still missing when the
+	// deadline passes is lost.
+	mu.Lock()
+	missing := make(map[string][]byte, len(acked))
+	for k, v := range acked {
+		missing[k] = v
+	}
+	mu.Unlock()
+	verifyDeadline := time.Now().Add(30 * time.Second)
+	for len(missing) > 0 {
+		for key, want := range missing {
+			vctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			got, err := client.Get(vctx, key)
+			cancel()
+			if err == nil && bytes.Equal(got, want) {
+				delete(missing, key)
+			} else if err == nil && !bytes.Equal(got, want) {
+				// A wrong value can never become right again under LWW of
+				// once-written keys; count it immediately.
+				result.ValueViolations++
+				delete(missing, key)
+			}
+		}
+		if len(missing) == 0 || time.Now().After(verifyDeadline) {
+			break
+		}
+		settle()
+	}
+	result.LostWrites = int64(len(missing))
+
+	for _, node := range cl.Nodes() {
+		result.BreakersOpened += node.Breakers().Stats().Opened
+	}
+	result.Ops = ops
+	result.AckedPuts = ackedPuts
+	result.OpFailures = opFailures
+	result.ValueViolations += valueViolations
+	result.DeadlineViolations = deadlineViolations
+	result.MaxOvershoot = time.Duration(maxOvershoot)
+	result.FaultsFired = inj.Counts()
+	return result, nil
+}

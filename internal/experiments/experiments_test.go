@@ -185,6 +185,22 @@ func TestSoakNoViolations(t *testing.T) {
 	}
 }
 
+func TestChaosNoViolations(t *testing.T) {
+	res, err := RunChaos(Quick(), t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AckedPuts == 0 {
+		t.Fatal("chaos acked no writes")
+	}
+	if res.CrashRestarts < 2 || res.Partitions < 1 {
+		t.Fatalf("schedule incomplete: %d crash-restarts, %d partitions", res.CrashRestarts, res.Partitions)
+	}
+	if v := res.Violations(); v != 0 {
+		t.Fatalf("chaos found %d invariant violations:\n%s", v, res.String())
+	}
+}
+
 func TestAblations(t *testing.T) {
 	scale := Quick()
 	scale.ReadItems = 1000 // 100 ops per NWR config: enough for stable means

@@ -64,18 +64,24 @@ func wireFaults(cl *mystore.Cluster, inj *faults.Injector, disks []*simdisk.Disk
 		})
 	}
 	for i, node := range cl.Nodes() {
-		disk := disks[i]
-		addr := node.Addr()
-		node.Coordinator().OnLocalOp = func(op string, bytes int) error {
-			if disk != nil {
-				disk.Access(bytes)
-			}
-			if inj == nil || op == "read-transfer" {
-				return nil
-			}
-			_, err := inj.Roll(addr)
-			return err
+		wireNodeFaults(node, inj, disks[i])
+	}
+}
+
+// wireNodeFaults attaches one node's disk model and fault rolls. A node
+// restarted with RestartNodeFresh gets a brand-new coordinator, so the
+// chaos harness re-wires it through this after every restart.
+func wireNodeFaults(node *mystore.Node, inj *faults.Injector, disk *simdisk.Disk) {
+	addr := node.Addr()
+	node.Coordinator().OnLocalOp = func(op string, bytes int) error {
+		if disk != nil {
+			disk.Access(bytes)
 		}
+		if inj == nil || op == "read-transfer" {
+			return nil
+		}
+		_, err := inj.Roll(addr)
+		return err
 	}
 }
 

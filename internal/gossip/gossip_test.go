@@ -242,6 +242,34 @@ func TestDeclareAndReadmit(t *testing.T) {
 	}
 }
 
+func TestSeedAutoReadmitsReturningNode(t *testing.T) {
+	// A node removed as long-failed comes back (crash-restart or healed
+	// partition) and resumes gossiping. The seed hears from it directly —
+	// proof of life — and must retract the removal on its own; no operator
+	// Readmit call. The retraction then spreads to every node.
+	c := newCluster(t, 4, []string{"node-0"})
+	for r := 0; r < 10; r++ {
+		c.round(nil)
+	}
+	c.eps[3].Close()
+	skip := map[int]bool{3: true}
+	for r := 0; r < 25; r++ {
+		c.round(skip)
+	}
+	if got := c.gs[0].StatusOf("node-3"); got != StatusLongFail {
+		t.Fatalf("setup: seed sees node-3 as %v, want long-fail", got)
+	}
+	c.eps[3].Reopen()
+	for r := 0; r < 30; r++ {
+		c.round(nil)
+	}
+	for i := 0; i < 3; i++ {
+		if got := c.gs[i].StatusOf("node-3"); got != StatusUp {
+			t.Fatalf("node-%d still believes returned node-3 is %v, want up", i, got)
+		}
+	}
+}
+
 func TestIsSeed(t *testing.T) {
 	c := newCluster(t, 2, []string{"node-0"})
 	if !c.gs[0].IsSeed() {

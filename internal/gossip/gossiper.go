@@ -403,7 +403,11 @@ func (g *Gossiper) applyRemovalLocked(addr string, removed bool) {
 }
 
 // markHeard refreshes the liveness clock for addr and revives it from
-// ShortFail if needed.
+// ShortFail if needed. A seed hearing *directly* from an address it removed
+// has proof the node is back (a crash-restart or healed partition that
+// outlasted LongFailAfter), so it retracts the removal assertion — without
+// this, a long-failed node that returns stays exiled forever because every
+// revival path checks the removed set first.
 func (g *Gossiper) markHeard(addr string) {
 	if addr == "" || addr == g.self {
 		return
@@ -411,6 +415,12 @@ func (g *Gossiper) markHeard(addr string) {
 	var ev *Event
 	g.mu.Lock()
 	g.lastHeard[addr] = g.cfg.Now()
+	if g.removed[addr] && g.IsSeed() {
+		es := g.states[g.self]
+		next := es.maxVersion() + 1
+		es.States[removedKey(addr)] = VersionedValue{Value: "0", Version: next}
+		delete(g.removed, addr)
+	}
 	if _, known := g.states[addr]; known && !g.removed[addr] && g.status[addr] != StatusUp {
 		ev = &Event{Addr: addr, Old: g.status[addr], New: StatusUp}
 		g.status[addr] = StatusUp

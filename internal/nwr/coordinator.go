@@ -9,6 +9,7 @@ import (
 
 	"mystore/internal/bson"
 	"mystore/internal/docstore"
+	"mystore/internal/resilience"
 	"mystore/internal/ring"
 	"mystore/internal/transport"
 )
@@ -36,6 +37,21 @@ type Config struct {
 	// unreachable after retries simply fails. Used by the ablation bench
 	// that measures what the short-failure path is worth.
 	DisableHints bool
+	// Breakers, when non-nil, gates every replica RPC per peer: a call to
+	// a peer whose breaker is open fails in microseconds instead of
+	// burning CallTimeout, so the successor walk prefers live peers. Call
+	// outcomes feed the breakers back. Nil leaves resilience unwired.
+	Breakers *resilience.BreakerSet
+	// RetryBudget, when non-nil, bounds replica-write retry amplification
+	// cluster-wide (token bucket). Nil always grants.
+	RetryBudget *resilience.RetryBudget
+	// RetryBackoff spaces replica-write retries with jittered exponential
+	// delays. The zero value uses the package defaults.
+	RetryBackoff resilience.Backoff
+	// DegradedReads serves a below-quorum read from whatever replica did
+	// answer — flagged Degraded, possibly stale — instead of failing with
+	// ErrQuorumRead. Availability over freshness during partitions.
+	DegradedReads bool
 	// Now overrides the clock (deterministic tests). Nil means time.Now.
 	Now func() time.Time
 }
@@ -83,6 +99,7 @@ type Stats struct {
 	ReadRepairs          int64
 	ReplicaSupplements   int64
 	RetriedReplicaWrites int64
+	DegradedReads        int64
 }
 
 // Coordinator runs the NWR protocol for one node. It is safe for concurrent
@@ -107,6 +124,16 @@ type Coordinator struct {
 	mu      sync.Mutex
 	stats   Stats
 	lastVer int64
+
+	// Per-target hint-redelivery backoff: a target that refused its last
+	// writeback is not re-pinged every round.
+	hintMu    sync.Mutex
+	hintRetry map[string]hintRetryState
+}
+
+type hintRetryState struct {
+	failures int
+	nextTry  time.Time
 }
 
 // NewCoordinator wires a coordinator. The store gains a unique index on
@@ -178,16 +205,31 @@ func (c *Coordinator) write(ctx context.Context, rec Record) error {
 	if err != nil {
 		return err
 	}
+	// The fan-out must outlive the caller: once W replicas ack, the write
+	// is acked and the remaining replications (plus any hint handoff) are
+	// the system's obligation, not the caller's — a caller cancelling its
+	// context right after the ack must not strand them. Each RPC stays
+	// bounded by CallTimeout; only the quorum wait below honours ctx.
+	bctx := context.WithoutCancel(ctx)
 	acksCh := make(chan bool, len(targets))
 	for _, target := range targets {
 		go func(target string) {
-			acksCh <- c.writeReplicaWithRecovery(ctx, targets, target, rec)
+			acksCh <- c.writeReplicaWithRecovery(bctx, targets, target, rec)
 		}(target)
 	}
 	acks := 0
 	for done := 0; done < len(targets); done++ {
-		if <-acksCh {
-			acks++
+		select {
+		case ok := <-acksCh:
+			if ok {
+				acks++
+			}
+		case <-ctx.Done():
+			// The caller gave up waiting; the write is not acked to them
+			// (replication may still complete in the background).
+			c.bump(func(s *Stats) { s.PutFailures++ })
+			return fmt.Errorf("%w: abandoned at %d/%d acks for key %q: %v",
+				ErrQuorumWrite, acks, c.cfg.W, rec.Key, ctx.Err())
 		}
 		if acks >= c.cfg.W {
 			// Quorum reached; the rest complete asynchronously.
@@ -201,12 +243,21 @@ func (c *Coordinator) write(ctx context.Context, rec Record) error {
 
 // writeReplicaWithRecovery drives one replica write through its retry and
 // hinted-handoff ladder, reporting whether the write was durably handled
-// somewhere.
+// somewhere. Retries are spaced by jittered exponential backoff and gated
+// on the retry budget; a peer whose breaker is open gets no retries at all
+// — its calls would fast-fail anyway, so the write goes straight to the
+// hint path on the next live ring node.
 func (c *Coordinator) writeReplicaWithRecovery(ctx context.Context, targets []string, target string, rec Record) bool {
 	if c.writeReplica(ctx, target, rec) {
 		return true
 	}
 	for attempt := 0; attempt < c.cfg.Retries; attempt++ {
+		if !c.peerWorthRetrying(target) || !c.cfg.RetryBudget.Spend() {
+			break
+		}
+		if resilience.Sleep(ctx, c.cfg.RetryBackoff.Delay(attempt, nil)) != nil {
+			break // caller gave up mid-backoff
+		}
 		c.bump(func(s *Stats) { s.RetriedReplicaWrites++ })
 		if c.writeReplica(ctx, target, rec) {
 			return true
@@ -216,6 +267,40 @@ func (c *Coordinator) writeReplicaWithRecovery(ctx context.Context, targets []st
 		return false
 	}
 	return c.storeHint(ctx, targets, target, rec)
+}
+
+// peerWorthRetrying reports whether another attempt at target could
+// plausibly succeed: the local store always is; a remote peer is not when
+// gossip believes it down or its breaker is open.
+func (c *Coordinator) peerWorthRetrying(target string) bool {
+	if target == c.self {
+		return true
+	}
+	if c.Live != nil && !c.Live(target) {
+		return false
+	}
+	if c.cfg.Breakers != nil && c.cfg.Breakers.For(target).State() == resilience.Open {
+		return false
+	}
+	return true
+}
+
+// callPeer is the breaker-gated RPC every coordinator path goes through. An
+// open breaker rejects in microseconds; outcomes feed the breaker — a
+// transport-level failure counts against the peer, while a remote
+// application error proves it alive.
+func (c *Coordinator) callPeer(ctx context.Context, target, msgType string, body bson.D) (bson.D, error) {
+	if !c.cfg.Breakers.Allow(target) {
+		return nil, fmt.Errorf("%w: %s: circuit breaker open", transport.ErrUnreachable, target)
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
+	defer cancel()
+	resp, err := c.tr.Call(cctx, target, transport.Message{Type: msgType, Body: body})
+	c.cfg.Breakers.Report(target, err == nil || transport.IsRemote(err))
+	if err == nil {
+		c.cfg.RetryBudget.Earn()
+	}
+	return resp, err
 }
 
 // WriteReplicaTo applies rec on target (locally or over the wire),
@@ -238,9 +323,7 @@ func (c *Coordinator) writeReplica(ctx context.Context, target string, rec Recor
 	if c.Live != nil && !c.Live(target) {
 		return false
 	}
-	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
-	defer cancel()
-	_, err := c.tr.Call(cctx, target, transport.Message{Type: MsgPutReplica, Body: rec.ToDoc()})
+	_, err := c.callPeer(ctx, target, MsgPutReplica, rec.ToDoc())
 	return err == nil
 }
 
@@ -275,10 +358,10 @@ func (c *Coordinator) storeHint(ctx context.Context, replicaSet []string, target
 		if c.Live != nil && !c.Live(cand) {
 			continue
 		}
-		cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
-		_, err := c.tr.Call(cctx, cand, transport.Message{Type: MsgHintStore, Body: body})
-		cancel()
-		if err == nil {
+		// callPeer skips candidates with open breakers in microseconds, so
+		// the walk settles on a live stand-in instead of burning a
+		// CallTimeout per dead candidate.
+		if _, err := c.callPeer(ctx, cand, MsgHintStore, body); err == nil {
 			c.bump(func(s *Stats) { s.HintsStored++ })
 			return true
 		}
@@ -286,14 +369,29 @@ func (c *Coordinator) storeHint(ctx context.Context, replicaSet []string, target
 	return false
 }
 
+// GetResult is a read answer with its provenance: Degraded marks a value
+// served below the read quorum (possibly stale).
+type GetResult struct {
+	Val      []byte
+	Degraded bool
+}
+
 // Get reads key with the read quorum: query every replica, demand at least
 // R answers, resolve last-write-wins, then repair stale or missing replicas
 // ("if replications are less than N ... some more replications are
 // supplemented", §5.2.2).
 func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, error) {
+	res, err := c.GetEx(ctx, key)
+	return res.Val, err
+}
+
+// GetEx is Get returning provenance. With Config.DegradedReads set, a read
+// that falls short of R but reached at least one replica returns that
+// replica's newest answer flagged Degraded instead of ErrQuorumRead.
+func (c *Coordinator) GetEx(ctx context.Context, key string) (GetResult, error) {
 	targets, err := c.ring.Successors(key, c.cfg.N)
 	if err != nil {
-		return nil, err
+		return GetResult{}, err
 	}
 	type answer struct {
 		rec   Record
@@ -325,9 +423,16 @@ func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, error) {
 			haveNewest = true
 		}
 	}
+	degraded := false
 	if responded < c.cfg.R {
-		c.bump(func(s *Stats) { s.GetFailures++ })
-		return nil, fmt.Errorf("%w: %d/%d replicas answered for key %q", ErrQuorumRead, responded, c.cfg.R, key)
+		if !c.cfg.DegradedReads || responded == 0 {
+			c.bump(func(s *Stats) { s.GetFailures++ })
+			return GetResult{}, fmt.Errorf("%w: %d/%d replicas answered for key %q", ErrQuorumRead, responded, c.cfg.R, key)
+		}
+		// Degraded read: serve whatever the reachable minority knows,
+		// flagged so callers can tell it may be stale.
+		degraded = true
+		c.bump(func(s *Stats) { s.DegradedReads++ })
 	}
 	c.bump(func(s *Stats) { s.Gets++ })
 
@@ -351,9 +456,9 @@ func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, error) {
 		}
 	}
 	if !haveNewest || newest.Deleted {
-		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		return GetResult{Degraded: degraded}, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	return newest.Val, nil
+	return GetResult{Val: newest.Val, Degraded: degraded}, nil
 }
 
 // readReplica fetches key's record from target.
@@ -364,10 +469,8 @@ func (c *Coordinator) readReplica(ctx context.Context, target, key string) (Reco
 	if c.Live != nil && !c.Live(target) {
 		return Record{}, false, fmt.Errorf("nwr: %s believed down", target)
 	}
-	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
-	defer cancel()
-	resp, err := c.tr.Call(cctx, target, transport.Message{Type: MsgGetReplica,
-		Body: bson.D{{Key: "self-key", Value: key}}})
+	resp, err := c.callPeer(ctx, target, MsgGetReplica,
+		bson.D{{Key: "self-key", Value: key}})
 	if err != nil {
 		return Record{}, false, err
 	}
@@ -495,44 +598,125 @@ func (c *Coordinator) HintCount() int {
 	return c.store.C(HintCollection).Len()
 }
 
+// hintPageSize bounds how many hints one writeback pass materializes at a
+// time: the scan pages through the target index instead of loading the
+// whole hint collection, so a long outage's backlog has bounded memory.
+const hintPageSize = 128
+
+// Redelivery backoff bounds for targets that refused their last writeback.
+// The cap stays modest: probing a dead target is near-free once its breaker
+// is open, and gossip's Up transition clears the backoff only when THIS
+// node believed the target down — failures caused by a partition elsewhere
+// must age out on their own for writeback to resume promptly after heal.
+const (
+	hintRetryBase = 500 * time.Millisecond
+	hintRetryMax  = 5 * time.Second
+)
+
 // DeliverHints pings each hinted target and, where it answers, writes the
-// parked record back and drops the hint (Fig 8's writeback). Call it
-// periodically and when gossip reports a node returning.
+// parked records back and drops the hints (Fig 8's writeback). Targets that
+// refuse back off exponentially so a long-dead node is not re-pinged every
+// round. Call it periodically and when gossip reports a node returning
+// (NoteTargetUp clears the backoff for an immediate attempt).
 func (c *Coordinator) DeliverHints(ctx context.Context) {
-	hints, err := c.store.C(HintCollection).Find(docstore.Filter{}, docstore.FindOptions{})
+	targets, err := c.store.C(HintCollection).Distinct("target", docstore.Filter{})
 	if err != nil {
 		return
 	}
-	reachable := map[string]bool{}
-	for _, h := range hints {
-		target := h.StringOr("target", "")
-		if target == "" {
+	for _, tv := range targets {
+		target, ok := tv.(string)
+		if !ok || target == "" {
 			continue
 		}
-		alive, checked := reachable[target]
-		if !checked {
-			alive = c.pingTarget(ctx, target)
-			reachable[target] = alive
-		}
-		if !alive {
+		if !c.hintTargetDue(target) {
 			continue
 		}
-		recDoc, ok := h.Get("record")
-		d, isDoc := recDoc.(bson.D)
-		if !ok || !isDoc {
+		if !c.pingTarget(ctx, target) {
+			c.hintTargetFailed(target)
 			continue
 		}
-		rec, err := RecordFromDoc(d)
-		if err != nil {
-			continue
+		c.NoteTargetUp(target)
+		c.deliverHintsTo(ctx, target)
+	}
+}
+
+// deliverHintsTo drains target's hint queue in pages via the target index.
+// Delivered hints leave the collection, so each pass re-reads the first
+// page; the loop stops when the queue is empty or a writeback fails.
+func (c *Coordinator) deliverHintsTo(ctx context.Context, target string) {
+	coll := c.store.C(HintCollection)
+	filter := docstore.Filter{{Key: "target", Value: target}}
+	for {
+		page, err := coll.Find(filter, docstore.FindOptions{Limit: hintPageSize})
+		if err != nil || len(page) == 0 {
+			return
 		}
-		if c.writeReplica(ctx, target, rec) {
-			id, _ := h.Get("_id")
-			if _, err := c.store.C(HintCollection).Delete(id); err == nil {
+		for _, h := range page {
+			id, hasID := h.Get("_id")
+			recDoc, ok := h.Get("record")
+			d, isDoc := recDoc.(bson.D)
+			if !ok || !isDoc {
+				// A malformed hint can never deliver; drop it rather than
+				// let it wedge the queue (and the paging loop) forever.
+				if hasID {
+					coll.Delete(id) //nolint:errcheck
+				}
+				continue
+			}
+			rec, err := RecordFromDoc(d)
+			if err != nil {
+				if hasID {
+					coll.Delete(id) //nolint:errcheck
+				}
+				continue
+			}
+			if !c.writeReplica(ctx, target, rec) {
+				c.hintTargetFailed(target)
+				return
+			}
+			if _, err := coll.Delete(id); err == nil {
 				c.bump(func(s *Stats) { s.HintsDelivered++ })
 			}
 		}
+		if len(page) < hintPageSize {
+			return
+		}
 	}
+}
+
+// hintTargetDue reports whether target's redelivery backoff has elapsed.
+func (c *Coordinator) hintTargetDue(target string) bool {
+	c.hintMu.Lock()
+	defer c.hintMu.Unlock()
+	st, ok := c.hintRetry[target]
+	return !ok || !c.cfg.Now().Before(st.nextTry)
+}
+
+// hintTargetFailed doubles target's redelivery backoff (capped).
+func (c *Coordinator) hintTargetFailed(target string) {
+	c.hintMu.Lock()
+	defer c.hintMu.Unlock()
+	if c.hintRetry == nil {
+		c.hintRetry = make(map[string]hintRetryState)
+	}
+	st := c.hintRetry[target]
+	if st.failures < 30 {
+		st.failures++
+	}
+	d := hintRetryBase << uint(st.failures-1)
+	if d <= 0 || d > hintRetryMax {
+		d = hintRetryMax
+	}
+	st.nextTry = c.cfg.Now().Add(d)
+	c.hintRetry[target] = st
+}
+
+// NoteTargetUp clears target's redelivery backoff; the cluster layer calls
+// it when gossip reports the node back so writeback starts immediately.
+func (c *Coordinator) NoteTargetUp(target string) {
+	c.hintMu.Lock()
+	delete(c.hintRetry, target)
+	c.hintMu.Unlock()
 }
 
 func (c *Coordinator) pingTarget(ctx context.Context, target string) bool {
@@ -542,9 +726,7 @@ func (c *Coordinator) pingTarget(ctx context.Context, target string) bool {
 	if c.Live != nil && !c.Live(target) {
 		return false
 	}
-	cctx, cancel := context.WithTimeout(ctx, c.cfg.CallTimeout)
-	defer cancel()
-	_, err := c.tr.Call(cctx, target, transport.Message{Type: MsgPing})
+	_, err := c.callPeer(ctx, target, MsgPing, nil)
 	return err == nil
 }
 

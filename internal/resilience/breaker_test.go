@@ -1,0 +1,150 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func cfgWith(c *fakeClock) BreakerConfig {
+	return BreakerConfig{FailureThreshold: 3, OpenFor: time.Second, Now: c.now}
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(cfgWith(clk))
+	if b.State() != Closed {
+		t.Fatalf("new breaker state = %v, want closed", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	if !b.Failure() {
+		t.Fatal("third failure should report the breaker opened")
+	}
+	if b.State() != Open {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must reject")
+	}
+}
+
+func TestBreakerSuccessClearsFailureRun(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(cfgWith(clk))
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed (run was cleared)", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeCycle(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(cfgWith(clk))
+	b.Trip(0)
+	if b.Allow() {
+		t.Fatal("open breaker must reject before cool-down")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cool-down = %v, want half-open", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("cooled-down breaker must admit one probe")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe must be rejected")
+	}
+	// Failed probe re-opens for a fresh cool-down.
+	b.Failure()
+	if b.State() != Open || b.Allow() {
+		t.Fatal("failed probe must re-open the breaker")
+	}
+	clk.advance(1100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker must admit a probe after cool-down")
+	}
+	b.Success()
+	if b.State() != Closed || !b.Allow() {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+func TestBreakerSetGossipFeed(t *testing.T) {
+	clk := newFakeClock()
+	s := NewBreakerSet(cfgWith(clk))
+	s.ObservePeer("b", PeerShortFail)
+	if s.Allow("b") {
+		t.Fatal("short-failed peer must be rejected")
+	}
+	s.ObservePeer("b", PeerUp)
+	if !s.Allow("b") {
+		t.Fatal("recovered peer must be allowed")
+	}
+	s.ObservePeer("c", PeerLongFail)
+	clk.advance(2 * time.Second) // past OpenFor but inside LongFailOpenFor
+	if s.Allow("c") {
+		t.Fatal("long-failed peer must stay rejected past the short cool-down")
+	}
+	clk.advance(7 * time.Second)
+	if !s.Allow("c") {
+		t.Fatal("long-failed peer must eventually admit a probe")
+	}
+	st := s.Stats()
+	if st.Opened != 2 {
+		t.Fatalf("Opened = %d, want 2", st.Opened)
+	}
+	if st.FastFailures != 2 {
+		t.Fatalf("FastFailures = %d, want 2", st.FastFailures)
+	}
+	if st.Probes != 1 {
+		t.Fatalf("Probes = %d, want 1", st.Probes)
+	}
+}
+
+// TestOpenBreakerCostsCallersMicroseconds is the acceptance check: with a
+// peer's breaker open, the caller learns "don't bother" in well under a
+// millisecond, instead of burning a multi-second CallTimeout per attempt.
+func TestOpenBreakerCostsCallersMicroseconds(t *testing.T) {
+	s := NewBreakerSet(BreakerConfig{OpenFor: time.Minute})
+	s.ObservePeer("dead:19870", PeerShortFail)
+
+	const calls = 1000
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		if s.Allow("dead:19870") {
+			t.Fatal("open breaker must reject")
+		}
+	}
+	elapsed := time.Since(start)
+	if perCall := elapsed / calls; perCall >= time.Millisecond {
+		t.Fatalf("open-breaker rejection cost %v per call, want < 1ms", perCall)
+	}
+	if st := s.Stats(); st.FastFailures != calls {
+		t.Fatalf("FastFailures = %d, want %d", st.FastFailures, calls)
+	}
+}
+
+func TestNilBreakerSetIsNoOp(t *testing.T) {
+	var s *BreakerSet
+	if !s.Allow("anyone") {
+		t.Fatal("nil set must allow")
+	}
+	s.Report("anyone", false)
+	s.ObservePeer("anyone", PeerLongFail)
+	if got := s.Stats(); got != (BreakerStats{}) {
+		t.Fatalf("nil set stats = %+v, want zero", got)
+	}
+}

@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryBudget is a token bucket bounding the cluster-wide retry
+// amplification a degraded dependency can cause: each retry spends one
+// token, each success earns a fraction of one back. When everything is
+// failing the bucket drains and retries stop — callers fail fast instead
+// of multiplying load onto a struggling peer (retry-storm protection).
+//
+// The zero value is unusable; construct with NewRetryBudget. A nil
+// *RetryBudget always grants, so call sites can leave it unwired.
+type RetryBudget struct {
+	mu         sync.Mutex
+	tokens     float64
+	max        float64
+	perSuccess float64
+}
+
+// NewRetryBudget returns a full bucket holding max tokens, earning
+// perSuccess tokens per recorded success. Non-positive arguments take
+// defaults (10 tokens, 0.1 per success — i.e. steady-state retries are
+// capped near 10% of successful traffic).
+func NewRetryBudget(max, perSuccess float64) *RetryBudget {
+	if max <= 0 {
+		max = 10
+	}
+	if perSuccess <= 0 {
+		perSuccess = 0.1
+	}
+	return &RetryBudget{tokens: max, max: max, perSuccess: perSuccess}
+}
+
+// Spend takes one token for a retry, reporting whether the retry is
+// allowed. A nil budget always allows.
+func (r *RetryBudget) Spend() bool {
+	if r == nil {
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tokens < 1 {
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+// Earn credits one successful call. A nil budget does nothing.
+func (r *RetryBudget) Earn() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tokens += r.perSuccess
+	if r.tokens > r.max {
+		r.tokens = r.max
+	}
+}
+
+// Tokens returns the current balance (tests, stats).
+func (r *RetryBudget) Tokens() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tokens
+}
+
+// Backoff computes jittered exponential delays between retry attempts.
+// The zero value is usable and takes the defaults documented per field.
+type Backoff struct {
+	// Base is the mean delay before the first retry. Zero means 10ms.
+	Base time.Duration
+	// Max caps the (pre-jitter) delay. Zero means 1s.
+	Max time.Duration
+	// Factor is the per-attempt growth. Zero means 2.
+	Factor float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Factor <= 0 {
+		b.Factor = 2
+	}
+	return b
+}
+
+// Delay returns the wait before retry attempt (0-based): an exponentially
+// grown target with "equal jitter" — half deterministic, half uniformly
+// random — so simultaneous failers decorrelate instead of retrying in
+// lock-step. rng may be nil to use the global generator.
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	var u float64
+	if rng != nil {
+		u = rng.Float64()
+	} else {
+		u = rand.Float64()
+	}
+	return time.Duration(d/2 + u*d/2)
+}
+
+// Sleep waits for d or until ctx is done, returning ctx's error in the
+// latter case. Retry loops use it so a caller's deadline cuts the backoff
+// short.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Remaining returns the time left before ctx's deadline. ok is false when
+// ctx carries no deadline.
+func Remaining(ctx context.Context) (left time.Duration, ok bool) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return 0, false
+	}
+	return time.Until(dl), true
+}
+
+// Expired reports whether ctx is already done (deadline passed or
+// cancelled) — the server-side shed check for propagated deadlines.
+func Expired(ctx context.Context) bool {
+	return ctx.Err() != nil
+}

@@ -1,0 +1,115 @@
+package resilience
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestRetryBudgetDrainsAndRefills(t *testing.T) {
+	b := NewRetryBudget(2, 0.5)
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("a full budget must grant its tokens")
+	}
+	if b.Spend() {
+		t.Fatal("an empty budget must refuse")
+	}
+	b.Earn() // +0.5: still under one token
+	if b.Spend() {
+		t.Fatal("half a token must not grant a retry")
+	}
+	b.Earn()
+	if !b.Spend() {
+		t.Fatal("earned tokens must grant retries again")
+	}
+}
+
+func TestRetryBudgetCapsAtMax(t *testing.T) {
+	b := NewRetryBudget(3, 1)
+	for i := 0; i < 100; i++ {
+		b.Earn()
+	}
+	if got := b.Tokens(); got != 3 {
+		t.Fatalf("tokens = %v, want capped at 3", got)
+	}
+}
+
+func TestNilRetryBudgetAlwaysGrants(t *testing.T) {
+	var b *RetryBudget
+	if !b.Spend() {
+		t.Fatal("nil budget must grant")
+	}
+	b.Earn() // must not panic
+}
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	rng := rand.New(rand.NewSource(1))
+	prevLow := time.Duration(0)
+	for attempt := 0; attempt < 6; attempt++ {
+		target := float64(10*time.Millisecond) * float64(int(1)<<attempt)
+		if target > float64(80*time.Millisecond) {
+			target = float64(80 * time.Millisecond)
+		}
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt, rng)
+			if d < time.Duration(target/2) || d > time.Duration(target) {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]",
+					attempt, d, time.Duration(target/2), time.Duration(target))
+			}
+		}
+		if low := time.Duration(target / 2); low < prevLow {
+			t.Fatalf("attempt %d: backoff floor shrank", attempt)
+		} else {
+			prevLow = low
+		}
+	}
+}
+
+func TestBackoffJitterVaries(t *testing.T) {
+	b := Backoff{Base: 20 * time.Millisecond}
+	rng := rand.New(rand.NewSource(7))
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[b.Delay(0, rng)] = true
+	}
+	if len(seen) < 16 {
+		t.Fatalf("only %d distinct jittered delays in 32 draws", len(seen))
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := Sleep(ctx, time.Second)
+	if err == nil {
+		t.Fatal("sleep must surface the context error")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("sleep ignored the deadline, took %v", elapsed)
+	}
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("plain sleep errored: %v", err)
+	}
+}
+
+func TestRemainingAndExpired(t *testing.T) {
+	if _, ok := Remaining(context.Background()); ok {
+		t.Fatal("background context must report no deadline")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	left, ok := Remaining(ctx)
+	if !ok || left <= 0 || left > time.Hour {
+		t.Fatalf("remaining = %v, %v", left, ok)
+	}
+	if Expired(ctx) {
+		t.Fatal("live context must not be expired")
+	}
+	cancel()
+	if !Expired(ctx) {
+		t.Fatal("cancelled context must be expired")
+	}
+}

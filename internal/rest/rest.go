@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"mystore/internal/auth"
 	"mystore/internal/cache"
@@ -49,6 +50,12 @@ type Config struct {
 	QueueDepth int
 	// MaxBodyBytes bounds uploads (default 16 MiB).
 	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline the gateway attaches to
+	// each /data operation; it propagates through the worker pool into the
+	// storage RPCs, and a queued request that can no longer meet it is shed
+	// with 503 + Retry-After instead of run. Zero means 10s; negative
+	// disables the deadline.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -61,13 +68,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 16 << 20
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
 	return c
 }
 
-// Stats counts gateway activity.
+// Stats counts gateway activity. Shed counts requests answered 503 because
+// the pool was saturated or their queue wait outlived the deadline;
+// DeadlineMisses counts requests whose own deadline expired.
 type Stats struct {
 	Requests, CacheHits, CacheMisses int64
 	Errors                           int64
+	Shed, DeadlineMisses             int64
 }
 
 // Gateway is the HTTP front end.
@@ -77,6 +90,7 @@ type Gateway struct {
 	pool    *dispatch.Pool
 
 	requests, cacheHits, cacheMisses, errs atomic.Int64
+	shed, deadlineMisses                   atomic.Int64
 }
 
 // NewGateway builds a gateway over backend.
@@ -95,10 +109,12 @@ func (g *Gateway) Close() { g.pool.Close() }
 // Stats returns a snapshot.
 func (g *Gateway) Stats() Stats {
 	return Stats{
-		Requests:    g.requests.Load(),
-		CacheHits:   g.cacheHits.Load(),
-		CacheMisses: g.cacheMisses.Load(),
-		Errors:      g.errs.Load(),
+		Requests:       g.requests.Load(),
+		CacheHits:      g.cacheHits.Load(),
+		CacheMisses:    g.cacheMisses.Load(),
+		Errors:         g.errs.Load(),
+		Shed:           g.shed.Load(),
+		DeadlineMisses: g.deadlineMisses.Load(),
 	}
 }
 
@@ -123,9 +139,11 @@ func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	ps := g.pool.Stats()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"requests":%d,"cacheHits":%d,"cacheMisses":%d,"errors":%d,`+
-		`"workers":%d,"dispatched":%d,"completed":%d,"failed":%d}`,
+		`"shed":%d,"deadlineMisses":%d,`+
+		`"workers":%d,"dispatched":%d,"completed":%d,"failed":%d,"poolShed":%d}`,
 		st.Requests, st.CacheHits, st.CacheMisses, st.Errors,
-		g.pool.Workers(), ps.Dispatched, ps.Completed, ps.Failed)
+		st.Shed, st.DeadlineMisses,
+		g.pool.Workers(), ps.Dispatched, ps.Completed, ps.Failed, ps.Shed)
 	fmt.Fprintln(w)
 }
 
@@ -151,6 +169,13 @@ func (g *Gateway) handleData(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusForbidden)
 			return
 		}
+	}
+	// Attach the per-request deadline; it rides the context through the
+	// worker pool and onto the storage RPC wire.
+	if g.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
 	}
 	key := strings.TrimPrefix(r.URL.Path, "/data/")
 	switch r.Method {
@@ -257,7 +282,15 @@ func (g *Gateway) fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		http.Error(w, err.Error(), http.StatusNotFound)
-	case errors.Is(err, dispatch.ErrQueueFull):
+	case errors.Is(err, dispatch.ErrQueueFull), errors.Is(err, dispatch.ErrShed):
+		// Overload: tell the client to back off briefly and retry — the
+		// saturation that shed this request is usually transient.
+		g.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded):
+		g.deadlineMisses.Add(1)
+		w.Header().Set("Retry-After", "1")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:
 		http.Error(w, err.Error(), http.StatusBadGateway)

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"mystore/internal/auth"
 	"mystore/internal/cache"
@@ -311,4 +312,55 @@ func TestConcurrentRequests(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// blockingBackend parks every Get on a channel so a test can hold the single
+// worker busy while more requests pile up in its queue.
+type blockingBackend struct {
+	mapBackend
+	release chan struct{}
+	entered chan struct{}
+}
+
+func (b *blockingBackend) Get(ctx context.Context, key string) ([]byte, error) {
+	select {
+	case b.entered <- struct{}{}:
+	default:
+	}
+	<-b.release
+	return b.mapBackend.Get(ctx, key)
+}
+
+func TestDeadlineShedAnswers503WithRetryAfter(t *testing.T) {
+	backend := &blockingBackend{
+		mapBackend: mapBackend{data: map[string][]byte{"k": []byte("v")}},
+		release:    make(chan struct{}),
+		entered:    make(chan struct{}, 1),
+	}
+	gw := NewGateway(backend, Config{Workers: 1, QueueDepth: 4, RequestTimeout: 50 * time.Millisecond})
+	srv := httptest.NewServer(gw.Handler())
+	defer func() { srv.Close(); close(backend.release); gw.Close() }()
+
+	// Occupy the single worker.
+	go http.Get(srv.URL + "/data/k") //nolint:errcheck
+	<-backend.entered
+
+	// This request queues behind the parked one and its 50ms gateway deadline
+	// lapses in the backlog: the pool sheds it and the gateway answers 503
+	// with a Retry-After hint.
+	resp, err := http.Get(srv.URL + "/data/k")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("503 response missing Retry-After header")
+	}
+	st := gw.Stats()
+	if st.Shed+st.DeadlineMisses == 0 {
+		t.Fatalf("Stats = %+v, want a shed or deadline-miss recorded", st)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mystore/internal/bson"
@@ -145,6 +146,13 @@ func (t *MemTransport) handle(ctx context.Context, msg Message, latency func(str
 	if h == nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoHandler, t.addr)
 	}
+	// Deadline propagation: the caller's context reaches this handler
+	// directly, so mirror the TCP server's policy — if the caller has
+	// already given up, drop the request instead of doing wasted work.
+	if ctx.Err() != nil {
+		t.deadlineDropped.Add(1)
+		return nil, fmt.Errorf("%w: %s: %s", ErrTimeout, t.addr, deadlineExpiredMsg)
+	}
 	resp, err := h(ctx, msg)
 	if err != nil {
 		return nil, &RemoteError{Msg: err.Error()}
@@ -184,7 +192,13 @@ type MemTransport struct {
 	addr    string
 	handler Handler
 	closed  bool
+
+	deadlineDropped atomic.Int64
 }
+
+// DeadlineDropped counts requests dropped because the caller's deadline had
+// already expired when they reached this endpoint's handler.
+func (t *MemTransport) DeadlineDropped() int64 { return t.deadlineDropped.Load() }
 
 // Addr implements Transport.
 func (t *MemTransport) Addr() string { return t.addr }

@@ -222,14 +222,7 @@ func (t *TCPTransport) dropMux(to string, mc *muxConn) {
 }
 
 func (t *TCPTransport) callMux(ctx context.Context, to string, msg Message, deadline time.Time) (bson.D, error) {
-	req := bson.D{
-		{Key: "type", Value: msg.Type},
-		{Key: "from", Value: t.addr},
-	}
-	if msg.Body != nil {
-		req = append(req, bson.E{Key: "body", Value: msg.Body})
-	}
-	enc, err := bson.Marshal(req)
+	enc, err := bson.Marshal(requestDoc(t.addr, msg, deadline))
 	if err != nil {
 		return nil, err
 	}
@@ -302,7 +295,10 @@ func (t *TCPTransport) serveMux(conn net.Conn) {
 }
 
 // handleRequest decodes one request payload and runs the handler, producing
-// the response document (shared by the legacy and mux server loops).
+// the response document (shared by the legacy and mux server loops). A
+// propagated deadline ("dl") bounds the handler's context; a request whose
+// deadline already passed is dropped without invoking the handler at all —
+// the caller has given up, so the work would be wasted.
 func (t *TCPTransport) handleRequest(payload []byte) bson.D {
 	req, err := bson.Unmarshal(payload)
 	if err != nil {
@@ -314,6 +310,19 @@ func (t *TCPTransport) handleRequest(payload []byte) bson.D {
 	if h == nil {
 		return bson.D{{Key: "err", Value: ErrNoHandler.Error()}}
 	}
+	ctx := context.Background()
+	if v, ok := req.Get("dl"); ok {
+		if nanos, isInt := v.(int64); isInt && nanos > 0 {
+			deadline := time.Unix(0, nanos)
+			if !time.Now().Before(deadline) {
+				t.deadlineDropped.Add(1)
+				return bson.D{{Key: "err", Value: deadlineExpiredMsg}}
+			}
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, deadline)
+			defer cancel()
+		}
+	}
 	msg := Message{
 		Type: req.StringOr("type", ""),
 		From: req.StringOr("from", ""),
@@ -323,7 +332,7 @@ func (t *TCPTransport) handleRequest(payload []byte) bson.D {
 			msg.Body = body
 		}
 	}
-	body, herr := h(context.Background(), msg)
+	body, herr := h(ctx, msg)
 	if herr != nil {
 		return bson.D{{Key: "err", Value: herr.Error()}}
 	}

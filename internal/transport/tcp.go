@@ -8,16 +8,21 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mystore/internal/bson"
 )
 
 // TCP transport: each request is one length-prefixed BSON frame
-// {"type","from","body"} answered by one {"body"} or {"err"} frame. A small
-// per-destination connection pool amortizes dials, mirroring the paper's
-// connection-pool design for MongoDB access (§5.1): connections are created
-// ahead of use, tested, reused and bounded.
+// {"type","from","dl","body"} answered by one {"body"} or {"err"} frame. A
+// small per-destination connection pool amortizes dials, mirroring the
+// paper's connection-pool design for MongoDB access (§5.1): connections are
+// created ahead of use, tested, reused and bounded.
+//
+// The "dl" element carries the caller's deadline as unix-nanos so the server
+// can bound handler work by it and drop requests whose caller has already
+// given up instead of doing work nobody will read (deadline propagation).
 
 const maxFrame = 64 << 20
 
@@ -69,7 +74,14 @@ type TCPTransport struct {
 	serving  map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	deadlineDropped atomic.Int64
 }
+
+// DeadlineDropped counts requests that arrived with their propagated
+// deadline already expired and were answered with an error without invoking
+// the handler.
+func (t *TCPTransport) DeadlineDropped() int64 { return t.deadlineDropped.Load() }
 
 // ListenTCP starts a transport listening on addr ("host:port"; ":0" picks a
 // free port — read the bound address back with Addr).
@@ -189,13 +201,7 @@ func (t *TCPTransport) Call(ctx context.Context, to string, msg Message) (bson.D
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
-	req := bson.D{
-		{Key: "type", Value: msg.Type},
-		{Key: "from", Value: t.addr},
-	}
-	if msg.Body != nil {
-		req = append(req, bson.E{Key: "body", Value: msg.Body})
-	}
+	req := requestDoc(t.addr, msg, deadline)
 	if err := writeFrame(conn, req); err != nil {
 		return nil, classifyNetErr(err)
 	}
@@ -290,6 +296,22 @@ func (t *TCPTransport) Close() error {
 	err := t.listener.Close()
 	t.wg.Wait()
 	return err
+}
+
+// requestDoc builds the wire request document, carrying the call deadline
+// as unix-nanos ("dl") so the server can abort work whose caller gave up.
+func requestDoc(from string, msg Message, deadline time.Time) bson.D {
+	req := bson.D{
+		{Key: "type", Value: msg.Type},
+		{Key: "from", Value: from},
+	}
+	if !deadline.IsZero() {
+		req = append(req, bson.E{Key: "dl", Value: deadline.UnixNano()})
+	}
+	if msg.Body != nil {
+		req = append(req, bson.E{Key: "body", Value: msg.Body})
+	}
+	return req
 }
 
 func writeFrame(w io.Writer, doc bson.D) error {

@@ -60,6 +60,10 @@ var (
 	ErrNoHandler   = errors.New("transport: endpoint has no handler")
 )
 
+// deadlineExpiredMsg is the remote-error text a server answers with when a
+// request's propagated deadline had already passed on arrival.
+const deadlineExpiredMsg = "caller deadline expired before handling"
+
 // RemoteError wraps an error returned by the remote handler; the call
 // itself succeeded at the network layer.
 type RemoteError struct {

@@ -110,6 +110,16 @@ type ClusterOptions struct {
 	SerializeWritePath bool
 	// DisableHints turns hinted handoff off (ablation benches).
 	DisableHints bool
+	// DegradedReads lets a coordinator answer a read from fewer than R
+	// replicas (flagged stale) instead of failing when quorum is
+	// unreachable.
+	DegradedReads bool
+	// ReplicaCallTimeout bounds each replica RPC (default 2s). Chaos and
+	// fault experiments shorten it so dead peers are detected quickly.
+	ReplicaCallTimeout time.Duration
+	// DisableBreakers leaves the per-peer circuit breakers unwired
+	// (resilience ablation).
+	DisableBreakers bool
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -204,9 +214,15 @@ func (c *Cluster) nodeConfig(i int) cluster.Config {
 		dir = fmt.Sprintf("%s/node-%d", c.opts.DataDir, i)
 	}
 	return cluster.Config{
-		Seeds:    c.seeds,
-		Weight:   weight,
-		NWR:      nwr.Config{N: c.opts.N, W: c.opts.W, R: c.opts.R, DisableHints: c.opts.DisableHints},
+		Seeds:  c.seeds,
+		Weight: weight,
+		NWR: nwr.Config{
+			N: c.opts.N, W: c.opts.W, R: c.opts.R,
+			DisableHints:  c.opts.DisableHints,
+			DegradedReads: c.opts.DegradedReads,
+			CallTimeout:   c.opts.ReplicaCallTimeout,
+		},
+		DisableBreakers: c.opts.DisableBreakers,
 		StoreDir: dir,
 		Store: docstore.Options{
 			WAL: wal.Options{
@@ -288,11 +304,17 @@ func (c *Cluster) WaitConverged(timeout time.Duration) bool {
 // Client connects a new client to the cluster, performing the paper's
 // connection test against the nodes.
 func (c *Cluster) Client() (*Client, error) {
+	return c.ClientWithOptions(cluster.ClientOptions{AutoRetry: true})
+}
+
+// ClientWithOptions connects a client with explicit options (retry policy,
+// breakers, timeouts).
+func (c *Cluster) ClientWithOptions(opts ClientOptions) (*Client, error) {
 	ep, err := c.net.Endpoint(fmt.Sprintf("client-%d:0", len(c.net.Addresses())))
 	if err != nil {
 		return nil, err
 	}
-	return cluster.Connect(context.Background(), ep, c.Addrs(), cluster.ClientOptions{AutoRetry: true})
+	return cluster.Connect(context.Background(), ep, c.Addrs(), opts)
 }
 
 // Addrs returns the node addresses.
@@ -326,6 +348,51 @@ func (c *Cluster) RestartNode(i int) {
 	if i >= 0 && i < len(eps) {
 		eps[i].Reopen()
 	}
+}
+
+// CrashNode simulates a hard process crash of node i: the node stops
+// serving and its store is torn down. With a DataDir configured its WAL and
+// snapshot stay on disk, so RestartNodeFresh can recover it; without one
+// the node's local data is gone, exactly as a crashed diskless process.
+func (c *Cluster) CrashNode(i int) error {
+	eps, nodes := c.members()
+	if i < 0 || i >= len(nodes) {
+		return fmt.Errorf("mystore: no node %d", i)
+	}
+	eps[i].Close()
+	return nodes[i].Close()
+}
+
+// RestartNodeFresh boots a brand-new node process in place of a crashed
+// node i: same address, same store directory. State is rebuilt by WAL
+// replay (plus snapshot load) from the directory, then gossip re-admits the
+// node and parked hints flow back — the recovery path of paper §5.2.
+// Optional configure hooks run on the new node before it starts serving
+// (fault-injection experiments re-attach their instrumentation here).
+func (c *Cluster) RestartNodeFresh(i int, configure ...func(*Node)) (*Node, error) {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.nodes) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("mystore: no node %d", i)
+	}
+	ep := c.eps[i]
+	c.mu.Unlock()
+	// Build the replacement while the endpoint is still closed (NewNode makes
+	// no outbound calls), configure it, swap it in, then reopen the wire —
+	// so neither the gossip ticker nor peers ever reach the node before it
+	// is fully assembled.
+	node, err := cluster.NewNode(ep, c.nodeConfig(i))
+	if err != nil {
+		return nil, err
+	}
+	for _, fn := range configure {
+		fn(node)
+	}
+	c.mu.Lock()
+	c.nodes[i] = node
+	c.mu.Unlock()
+	ep.Reopen()
+	return node, nil
 }
 
 // AddNode grows the cluster by one node at runtime; gossip spreads the

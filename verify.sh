@@ -1,10 +1,12 @@
 #!/bin/sh
 # verify.sh — the repo's tier-1 gate: vet, build, full test suite, and the
-# race detector on the write-path packages (docstore, wal, transport, nwr).
+# race detector on the write path (docstore, wal, transport, nwr) plus the
+# resilience-bearing packages (cluster, gossip, cache, dispatch, resilience).
 # CI and pre-commit both run exactly this.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/docstore ./internal/wal ./internal/transport ./internal/nwr
+go test -race ./internal/docstore ./internal/wal ./internal/transport ./internal/nwr \
+	./internal/cluster ./internal/gossip ./internal/cache ./internal/dispatch ./internal/resilience
