@@ -1,4 +1,4 @@
-.PHONY: verify test bench chaos
+.PHONY: verify test bench chaos obs-smoke
 
 verify:
 	./verify.sh
@@ -15,3 +15,9 @@ bench:
 chaos:
 	go run ./cmd/mystore-bench -quick chaos
 	go run ./cmd/mystore-bench -quick -seed 42 chaos
+
+# obs-smoke boots a gateway over an in-process durable cluster, drives
+# traffic, and asserts /metrics exports every required family, /stats kept
+# its keys, and /debug/traces serves the traffic's traces.
+obs-smoke:
+	go test -run TestObsSmoke -count=1 -v .

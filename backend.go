@@ -9,6 +9,7 @@ import (
 	"mystore/internal/auth"
 	"mystore/internal/cache"
 	"mystore/internal/cluster"
+	"mystore/internal/metrics"
 	"mystore/internal/rest"
 	"mystore/internal/transport"
 )
@@ -59,6 +60,15 @@ type GatewayOptions struct {
 	// propagates through the backend to the storage nodes. Zero applies the
 	// REST layer's default; negative disables the cap.
 	RequestTimeout time.Duration
+	// Metrics, when non-nil, receives the gateway's and cache tier's metric
+	// families and is served at /metrics. Pair it with
+	// Cluster.RegisterMetrics to fold node-side metrics into the same page.
+	Metrics *MetricsRegistry
+	// Trace, when non-nil, collects a per-request trace served at
+	// /debug/traces; traces past its slow threshold hit the slow-op log.
+	Trace *TraceCollector
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Gateway bundles the REST gateway with its cache tier.
@@ -83,7 +93,18 @@ func NewGateway(backend rest.Backend, opts GatewayOptions) *Gateway {
 		Auth:           opts.Auth,
 		Workers:        opts.Workers,
 		RequestTimeout: opts.RequestTimeout,
+		Metrics:        opts.Metrics,
+		Trace:          opts.Trace,
+		EnablePprof:    opts.EnablePprof,
 	})
+	if opts.Metrics != nil {
+		if cb, ok := backend.(ClusterBackend); ok {
+			if ins, isIns := cb.Client.Transport().(transport.Instrumented); isIns {
+				opts.Metrics.Register("mystore_rpc_seconds", "Outbound RPC latency by destination peer.",
+					metrics.TypeHistogram, "peer").AddHistogramVec(1e-9, ins.RPCLatency().Snapshots)
+			}
+		}
+	}
 	return &Gateway{Gateway: gw, Cache: tier}
 }
 

@@ -30,6 +30,8 @@ func main() {
 	authUsers := flag.String("auth-users", "", "comma-separated users to enable signatures for (empty disables auth)")
 	requestTimeout := flag.Duration("request-timeout", 10*time.Second, "per-request deadline propagated to the storage nodes")
 	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests on shutdown")
+	slowOp := flag.Duration("slow-op", time.Second, "traces at least this long go to the slow-op log (0 disables the log)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var nodeList []string
@@ -50,6 +52,9 @@ func main() {
 		CacheBytes:     *cacheBytes,
 		Workers:        *workers,
 		RequestTimeout: *requestTimeout,
+		Metrics:        mystore.NewMetricsRegistry(),
+		Trace:          mystore.NewTraceCollector(*slowOp),
+		EnablePprof:    *pprofOn,
 	}
 	if *authUsers != "" {
 		db := mystore.NewTokenDB()

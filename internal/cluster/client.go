@@ -10,6 +10,7 @@ import (
 	"mystore/internal/bson"
 	"mystore/internal/docstore"
 	"mystore/internal/resilience"
+	"mystore/internal/trace"
 	"mystore/internal/transport"
 )
 
@@ -129,6 +130,13 @@ func (c *Client) pick(avoid map[string]bool) string {
 // exponential backoff between them, skipping nodes that already failed this
 // operation while others remain.
 func (c *Client) call(ctx context.Context, msgType string, body bson.D) (bson.D, error) {
+	ctx, sp := trace.Start(ctx, "cluster.call")
+	resp, err := c.callAttempts(ctx, msgType, body)
+	sp.End(err)
+	return resp, err
+}
+
+func (c *Client) callAttempts(ctx context.Context, msgType string, body bson.D) (bson.D, error) {
 	var failed map[string]bool
 	var lastErr error
 	for i := 0; i < c.opts.Attempts; i++ {
@@ -278,6 +286,10 @@ func (c *Client) Aggregate(ctx context.Context, filter docstore.Filter, spec doc
 func (c *Client) Status(ctx context.Context) (bson.D, error) {
 	return c.call(ctx, MsgStatus, nil)
 }
+
+// Transport exposes the client's transport (metrics registration: the
+// per-peer RPC latency vec lives on the transport).
+func (c *Client) Transport() transport.Transport { return c.tr }
 
 // Nodes returns the node addresses in rotation.
 func (c *Client) Nodes() []string {

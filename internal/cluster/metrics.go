@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"mystore/internal/metrics"
+	"mystore/internal/transport"
+)
+
+// RegisterMetrics adds this node's subsystem metrics to r, labeled
+// node=<addr>. A process hosting several in-proc nodes points them all at the
+// same registry: Register is idempotent per family name, so each node only
+// contributes its own labeled source. All sources are lazy — nothing is
+// sampled until a scrape.
+func (n *Node) RegisterMetrics(r *metrics.Registry) {
+	addr := n.Addr()
+	store := n.store
+	coord := n.coord
+	gossiper := n.gossiper
+
+	r.Register("mystore_store_documents", "Documents held in the local document store.", metrics.TypeGauge, "node").
+		Add(addr, func() float64 { return float64(store.Stats().Documents) })
+	r.Register("mystore_store_bytes", "Payload bytes held in the local document store.", metrics.TypeGauge, "node").
+		Add(addr, func() float64 { return float64(store.Stats().DataBytes) })
+
+	r.Register("mystore_nwr_puts_total", "Coordinator writes started on this node.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(coord.Stats().Puts) })
+	r.Register("mystore_nwr_gets_total", "Coordinator reads started on this node.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(coord.Stats().Gets) })
+	r.Register("mystore_nwr_put_seconds", "Coordinator write latency until the W quorum acknowledged.", metrics.TypeHistogram, "node").
+		AddHistogram(addr, 1e-9, coord.PutLatency().Snapshot)
+	r.Register("mystore_nwr_get_seconds", "Coordinator read latency until the R quorum answered.", metrics.TypeHistogram, "node").
+		AddHistogram(addr, 1e-9, coord.GetLatency().Snapshot)
+	r.Register("mystore_hints_queued", "Hinted-handoff records parked on this node awaiting delivery.", metrics.TypeGauge, "node").
+		Add(addr, func() float64 { return float64(coord.HintCount()) })
+
+	r.Register("mystore_gossip_live_peers", "Peers this node currently believes are up.", metrics.TypeGauge, "node").
+		Add(addr, func() float64 { return float64(len(gossiper.LiveEndpoints())) })
+
+	if bs := n.breakers; bs != nil {
+		r.Register("mystore_breaker_open", "Peer circuit breakers currently open.", metrics.TypeGauge, "node").
+			Add(addr, func() float64 { return float64(bs.OpenCount()) })
+		r.Register("mystore_breaker_opened_total", "Circuit-breaker closed/half-open to open transitions.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(bs.Stats().Opened) })
+		r.Register("mystore_breaker_fastfail_total", "Calls rejected instantly by an open breaker.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(bs.Stats().FastFailures) })
+	}
+
+	if log := store.WAL(); log != nil {
+		r.Register("mystore_wal_appends_total", "Records appended to the write-ahead log.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(log.Stats().Appends) })
+		r.Register("mystore_wal_fsyncs_total", "fsync syscalls issued by the write-ahead log.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(log.Stats().Fsyncs) })
+		r.Register("mystore_wal_fsync_seconds", "WAL fsync latency.", metrics.TypeHistogram, "node").
+			AddHistogram(addr, 1e-9, log.FsyncLatency().Snapshot)
+		r.Register("mystore_wal_batch_records", "Records made durable per group-commit fsync.", metrics.TypeHistogram, "node").
+			AddHistogram(addr, 1, log.BatchSizes().Snapshot)
+	}
+
+	if ins, ok := n.tr.(transport.Instrumented); ok {
+		r.Register("mystore_rpc_seconds", "Outbound RPC latency by destination peer.", metrics.TypeHistogram, "peer").
+			AddHistogramVec(1e-9, ins.RPCLatency().Snapshots)
+		r.Register("mystore_transport_deadline_dropped_total", "Requests dropped on arrival because the propagated deadline had expired.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(ins.DeadlineDropped()) })
+	}
+}

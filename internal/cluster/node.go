@@ -22,6 +22,7 @@ import (
 	"mystore/internal/nwr"
 	"mystore/internal/resilience"
 	"mystore/internal/ring"
+	"mystore/internal/trace"
 	"mystore/internal/transport"
 )
 
@@ -64,6 +65,13 @@ type Config struct {
 	// DisableBreakers leaves the circuit breakers unwired, so a dead peer
 	// costs a full CallTimeout per attempt again (ablations).
 	DisableBreakers bool
+	// Tracer, when non-nil, is this node's trace collector. Transports that
+	// support it (TCP) join incoming on-wire trace ids against it, so a
+	// networked node's spans correlate with the originating gateway trace.
+	// In-process clusters don't need one: the simulated network passes the
+	// caller's context — and with it the gateway's collector — straight
+	// through.
+	Tracer *trace.Collector
 	// Now injects a clock for deterministic simulations.
 	Now func() time.Time
 }
@@ -152,9 +160,17 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.gossiper.SetLocal("weight", strconv.Itoa(cfg.Weight))
+	if cfg.Tracer != nil {
+		if ts, ok := tr.(interface{ SetTracer(*trace.Collector) }); ok {
+			ts.SetTracer(cfg.Tracer)
+		}
+	}
 	tr.SetHandler(n.handleMessage)
 	return n, nil
 }
+
+// Tracer returns the node-local trace collector (nil unless configured).
+func (n *Node) Tracer() *trace.Collector { return n.cfg.Tracer }
 
 // Addr returns the node's address.
 func (n *Node) Addr() string { return n.tr.Addr() }

@@ -12,6 +12,10 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mystore/internal/metrics"
+	"mystore/internal/trace"
 )
 
 // Request is one unit of work: a function executed on a logical worker.
@@ -33,12 +37,15 @@ type Pool struct {
 	completed  atomic.Int64
 	failed     atomic.Int64
 	shed       atomic.Int64
+	queueWait  *metrics.BucketedHistogram
 }
 
 type job struct {
-	ctx  context.Context
-	req  Request
-	done chan error
+	ctx      context.Context
+	req      Request
+	done     chan error
+	span     *trace.Span // "dispatch.queue", ended when a worker dequeues
+	enqueued time.Time
 }
 
 // ErrClosed is returned when dispatching to a closed pool.
@@ -61,7 +68,7 @@ func NewPool(n, queueDepth int) *Pool {
 	if queueDepth <= 0 {
 		queueDepth = 64
 	}
-	p := &Pool{depth: queueDepth}
+	p := &Pool{depth: queueDepth, queueWait: metrics.NewBucketedHistogram(nil)}
 	for i := 0; i < n; i++ {
 		q := make(chan job, queueDepth)
 		p.queues = append(p.queues, q)
@@ -74,6 +81,7 @@ func NewPool(n, queueDepth int) *Pool {
 func (p *Pool) worker(q chan job) {
 	defer p.wg.Done()
 	for j := range q {
+		p.queueWait.ObserveDuration(time.Since(j.enqueued))
 		var err error
 		select {
 		case <-j.ctx.Done():
@@ -81,7 +89,11 @@ func (p *Pool) worker(q chan job) {
 			p.shed.Add(1)
 			err = ErrShed
 		default:
+			j.span.End(nil)
 			err = j.req(j.ctx)
+		}
+		if errors.Is(err, ErrShed) {
+			j.span.End(err)
 		}
 		if err != nil {
 			p.failed.Add(1)
@@ -98,7 +110,11 @@ func (p *Pool) worker(q chan job) {
 // Close, or ErrQueueFull when every backlog is full (the overload signal a
 // saturated fcgi pool gives).
 func (p *Pool) Do(ctx context.Context, req Request) error {
-	j := job{ctx: ctx, req: req, done: make(chan error, 1)}
+	// The queue span measures backlog wait: opened here, ended by the worker
+	// at dequeue. The request itself runs under the span's context so its
+	// own spans nest beneath the queue wait.
+	ctx, span := trace.Start(ctx, "dispatch.queue")
+	j := job{ctx: ctx, req: req, done: make(chan error, 1), span: span, enqueued: time.Now()}
 	p.closeMu.RLock()
 	if p.closed {
 		p.closeMu.RUnlock()
@@ -118,6 +134,7 @@ func (p *Pool) Do(ctx context.Context, req Request) error {
 	}
 	p.closeMu.RUnlock()
 	if !enqueued {
+		span.End(ErrQueueFull)
 		return ErrQueueFull
 	}
 	select {
@@ -131,6 +148,10 @@ func (p *Pool) Do(ctx context.Context, req Request) error {
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.queues) }
+
+// QueueWait exposes the backlog-wait histogram (enqueue to worker pickup)
+// for registry registration.
+func (p *Pool) QueueWait() *metrics.BucketedHistogram { return p.queueWait }
 
 // Stats reports dispatch counters. Shed counts queued requests dropped
 // because their deadline expired before a worker reached them.

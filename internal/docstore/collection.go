@@ -1,6 +1,7 @@
 package docstore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -53,6 +54,12 @@ func (c *Collection) DataBytes() int64 {
 // The (possibly augmented) document's id is returned. The document is cloned
 // before insertion, so the caller may reuse it.
 func (c *Collection) Insert(doc bson.D) (any, error) {
+	return c.InsertCtx(context.Background(), doc)
+}
+
+// InsertCtx is Insert carrying the caller's context so the write's
+// durability wait appears in its trace.
+func (c *Collection) InsertCtx(ctx context.Context, doc bson.D) (any, error) {
 	doc = doc.Clone()
 	id, ok := doc.Get("_id")
 	if !ok {
@@ -60,7 +67,7 @@ func (c *Collection) Insert(doc bson.D) (any, error) {
 		// Prepend _id, matching MongoDB's canonical layout.
 		doc = append(bson.D{{Key: "_id", Value: id}}, doc...)
 	}
-	if err := c.store.mutate(Op{Kind: "insert", Coll: c.name, Doc: doc}); err != nil {
+	if err := c.store.mutateCtx(ctx, Op{Kind: "insert", Coll: c.name, Doc: doc}); err != nil {
 		return nil, err
 	}
 	return id, nil
@@ -69,10 +76,16 @@ func (c *Collection) Insert(doc bson.D) (any, error) {
 // Update replaces the document whose _id matches doc's _id. The document
 // must already exist.
 func (c *Collection) Update(doc bson.D) error {
+	return c.UpdateCtx(context.Background(), doc)
+}
+
+// UpdateCtx is Update carrying the caller's context so the write's
+// durability wait appears in its trace.
+func (c *Collection) UpdateCtx(ctx context.Context, doc bson.D) error {
 	if !doc.Has("_id") {
 		return fmt.Errorf("%w: update requires _id", ErrBadId)
 	}
-	return c.store.mutate(Op{Kind: "update", Coll: c.name, Doc: doc.Clone()})
+	return c.store.mutateCtx(ctx, Op{Kind: "update", Coll: c.name, Doc: doc.Clone()})
 }
 
 // Upsert inserts doc if its _id is unknown and replaces the stored document
@@ -98,6 +111,12 @@ func (c *Collection) Upsert(doc bson.D) (any, error) {
 // Delete removes the document with the given id, reporting whether it
 // existed.
 func (c *Collection) Delete(id any) (bool, error) {
+	return c.DeleteCtx(context.Background(), id)
+}
+
+// DeleteCtx is Delete carrying the caller's context so the write's
+// durability wait appears in its trace.
+func (c *Collection) DeleteCtx(ctx context.Context, id any) (bool, error) {
 	key, err := idKey(id)
 	if err != nil {
 		return false, err
@@ -108,7 +127,7 @@ func (c *Collection) Delete(id any) (bool, error) {
 	if !exists {
 		return false, nil
 	}
-	if err := c.store.mutate(Op{Kind: "delete", Coll: c.name, Id: id}); err != nil {
+	if err := c.store.mutateCtx(ctx, Op{Kind: "delete", Coll: c.name, Id: id}); err != nil {
 		return false, err
 	}
 	return true, nil

@@ -6,6 +6,7 @@
 package docstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"mystore/internal/bson"
+	"mystore/internal/trace"
 	"mystore/internal/wal"
 )
 
@@ -173,7 +175,12 @@ func (s *Store) DropCollection(name string) error {
 }
 
 // mutate validates, logs, applies and publishes one op.
-func (s *Store) mutate(op Op) error {
+func (s *Store) mutate(op Op) error { return s.mutateCtx(context.Background(), op) }
+
+// mutateCtx is mutate with the caller's context, used only for tracing: the
+// durability wait gets its own "wal.commit" span so a trace shows how much
+// of a write sat waiting on the group fsync.
+func (s *Store) mutateCtx(ctx context.Context, op Op) error {
 	s.mu.RLock()
 	closed, readOnly := s.closed, s.opts.ReadOnly
 	s.mu.RUnlock()
@@ -243,7 +250,9 @@ func (s *Store) mutate(op Op) error {
 
 	var syncErr error
 	if s.log != nil {
+		_, sp := trace.Start(ctx, "wal.commit")
 		syncErr = s.log.WaitDurable(lsn)
+		sp.End(syncErr)
 	}
 	// Publish even when the durability wait failed: pubNext must advance or
 	// every later op would block forever. A failed fsync poisons the log, so
@@ -403,6 +412,11 @@ func (s *Store) Stats() Stats {
 	}
 	return st
 }
+
+// WAL exposes the write-ahead log so callers can register its histograms
+// (fsync latency, batch sizes) with a metrics registry. Nil for an in-memory
+// store.
+func (s *Store) WAL() *wal.Log { return s.log }
 
 // WALStats reports the write-ahead log's commit counters (appends, fsyncs,
 // group-commit batch sizes). The second result is false for an in-memory

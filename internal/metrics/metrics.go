@@ -13,33 +13,84 @@ import (
 	"time"
 )
 
+// DefaultSampleCap bounds how many exact samples a Histogram retains. A full
+// reservoir is 8 MiB; beyond it, incoming samples displace retained ones
+// uniformly at random (Vitter's algorithm R), so a multi-hour chaos run keeps
+// a statistically faithful window instead of growing memory linearly.
+const DefaultSampleCap = 1 << 20
+
 // Histogram records durations and extracts order statistics. It keeps exact
-// samples (the experiments record at most a few hundred thousand operations),
-// guarded by a mutex so load-generator goroutines can record concurrently.
+// samples up to a cap (the experiments record at most a few hundred thousand
+// operations, well under it), guarded by a mutex so load-generator goroutines
+// can record concurrently. Count, Mean, Min and Max stay exact past the cap;
+// quantiles and cumulative counts become reservoir estimates.
 type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	cap     int
+	seen    int64 // total observations, including displaced ones
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	rng     uint64
 }
 
-// NewHistogram returns an empty histogram.
+// NewHistogram returns an empty histogram retaining up to DefaultSampleCap
+// samples.
 func NewHistogram() *Histogram {
-	return &Histogram{}
+	return &Histogram{cap: DefaultSampleCap, rng: 0x9E3779B97F4A7C15}
+}
+
+// NewHistogramCap returns an empty histogram retaining up to n samples
+// (n <= 0 means DefaultSampleCap).
+func NewHistogramCap(n int) *Histogram {
+	h := NewHistogram()
+	if n > 0 {
+		h.cap = n
+	}
+	return h
 }
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, d)
-	h.sorted = false
+	h.seen++
+	h.sum += d
+	if h.seen == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	if h.cap <= 0 { // zero value: retain everything (legacy behavior)
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, d)
+		h.sorted = false
+		return
+	}
+	// Reservoir full: keep d with probability cap/seen, displacing a
+	// uniformly random resident (xorshift64, cheap and already under h.mu).
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	if j := h.rng % uint64(h.seen); j < uint64(h.cap) {
+		h.samples[j] = d
+		h.sorted = false
+	}
 }
 
-// Count returns the number of recorded samples.
+// Count returns the number of observed samples, including any no longer
+// retained by the reservoir.
 func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.samples)
+	return int(h.seen)
 }
 
 func (h *Histogram) sortLocked() {
@@ -67,40 +118,31 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return h.samples[idx]
 }
 
-// Mean returns the arithmetic mean of the samples, or zero when empty.
+// Mean returns the arithmetic mean over every observation (exact even past
+// the reservoir cap), or zero when empty.
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.seen == 0 {
 		return 0
 	}
-	var total time.Duration
-	for _, s := range h.samples {
-		total += s
-	}
-	return total / time.Duration(len(h.samples))
+	return h.sum / time.Duration(h.seen)
 }
 
-// Min returns the smallest sample, or zero when empty.
+// Min returns the smallest observation (exact even past the reservoir cap),
+// or zero when empty.
 func (h *Histogram) Min() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortLocked()
-	return h.samples[0]
+	return h.min
 }
 
-// Max returns the largest sample, or zero when empty.
+// Max returns the largest observation (exact even past the reservoir cap),
+// or zero when empty.
 func (h *Histogram) Max() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	h.sortLocked()
-	return h.samples[len(h.samples)-1]
+	return h.max
 }
 
 // Stddev returns the sample standard deviation, or zero for fewer than two
@@ -146,7 +188,13 @@ func (h *Histogram) CumulativeWithin(thresholds []time.Duration) []int {
 	h.sortLocked()
 	out := make([]int, len(thresholds))
 	for i, t := range thresholds {
-		out[i] = sort.Search(len(h.samples), func(j int) bool { return h.samples[j] > t })
+		n := sort.Search(len(h.samples), func(j int) bool { return h.samples[j] > t })
+		if int64(len(h.samples)) < h.seen {
+			// Reservoir displaced samples: scale the retained fraction back
+			// up to an estimate over every observation.
+			n = int(float64(n) * float64(h.seen) / float64(len(h.samples)))
+		}
+		out[i] = n
 	}
 	return out
 }

@@ -109,6 +109,58 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 	}
 }
 
+// TestHistogramSampleCap is the satellite bugfix regression: Observe past
+// the retention cap must not grow memory, while exact statistics survive and
+// quantiles remain reservoir estimates of the full stream.
+func TestHistogramSampleCap(t *testing.T) {
+	const capN = 1000
+	h := NewHistogramCap(capN)
+	for i := 1; i <= 10*capN; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if got := h.Count(); got != 10*capN {
+		t.Fatalf("Count = %d, want %d (exact past the cap)", got, 10*capN)
+	}
+	if got := len(h.Samples()); got != capN {
+		t.Fatalf("retained %d samples, want cap %d", got, capN)
+	}
+	if got := h.Min(); got != time.Microsecond {
+		t.Errorf("Min = %v, want 1µs (exact)", got)
+	}
+	if got := h.Max(); got != 10*capN*time.Microsecond {
+		t.Errorf("Max = %v, want %v (exact)", got, 10*capN*time.Microsecond)
+	}
+	wantMean := time.Duration(10*capN+1) * time.Microsecond / 2
+	if got := h.Mean(); got != wantMean {
+		t.Errorf("Mean = %v, want %v (exact)", got, wantMean)
+	}
+	// The stream is uniform over (0, 10ms]; the reservoir median should be a
+	// fair estimate, not stuck in the first cap samples (which would put it
+	// at ~500µs).
+	if got := h.Quantile(0.5); got < 3*time.Millisecond || got > 7*time.Millisecond {
+		t.Errorf("reservoir median = %v, want ~5ms", got)
+	}
+	// CumulativeWithin scales the retained fraction back to the full stream.
+	within := h.CumulativeWithin([]time.Duration{10 * capN * time.Microsecond})
+	if within[0] < 9*capN || within[0] > 10*capN {
+		t.Errorf("CumulativeWithin(max) = %d, want ~%d", within[0], 10*capN)
+	}
+}
+
+// TestHistogramEmptyQuantile pins the empty-histogram contract the harness
+// relies on: every statistic reports zero rather than indexing.
+func TestHistogramEmptyQuantile(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := h.CumulativeWithin([]time.Duration{time.Second}); got[0] != 0 {
+		t.Fatalf("empty CumulativeWithin = %d, want 0", got[0])
+	}
+}
+
 func TestCounter(t *testing.T) {
 	var c Counter
 	var wg sync.WaitGroup

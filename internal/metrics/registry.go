@@ -1,0 +1,288 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// MetricType is the exposition type of a metric family.
+type MetricType string
+
+// Exposition types rendered on the # TYPE line.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// source is one labeled sample provider inside a family.
+type source struct {
+	label string // label value, "" for unlabeled
+	value func() float64
+	hist  func() HistogramSnapshot            // set for histogram families
+	vec   func() map[string]HistogramSnapshot // set for dynamic-label histogram families
+	scale float64                             // multiplies values (1e-9 turns nanos into seconds)
+}
+
+// Family is one named metric with HELP/TYPE metadata and any number of
+// labeled sources, each read lazily at scrape time so registration costs the
+// instrumented subsystem nothing.
+type Family struct {
+	name      string
+	help      string
+	typ       MetricType
+	labelName string
+
+	mu      sync.Mutex
+	sources []source
+}
+
+// Add registers a gauge/counter source under the given label value (empty
+// for an unlabeled family). fn is called at scrape time.
+func (f *Family) Add(labelValue string, fn func() float64) *Family {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sources = append(f.sources, source{label: labelValue, value: fn, scale: 1})
+	return f
+}
+
+// AddHistogram registers a histogram source under the given label value.
+// scale multiplies observed values at render time: pass 1e-9 for histograms
+// observed in nanoseconds so exposition follows the Prometheus convention of
+// seconds (0 means 1).
+func (f *Family) AddHistogram(labelValue string, scale float64, fn func() HistogramSnapshot) *Family {
+	if scale == 0 {
+		scale = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sources = append(f.sources, source{label: labelValue, hist: fn, scale: scale})
+	return f
+}
+
+// AddHistogramVec registers a dynamic-label histogram source: fn returns a
+// label→snapshot map read at scrape time, so labels that appear later (a peer
+// first contacted mid-run) show up without re-registration. Snapshots from
+// different vec sources that share a label are merged, which lets several
+// in-proc nodes report into one per-peer family.
+func (f *Family) AddHistogramVec(scale float64, fn func() map[string]HistogramSnapshot) *Family {
+	if scale == 0 {
+		scale = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sources = append(f.sources, source{vec: fn, scale: scale})
+	return f
+}
+
+func (f *Family) snapshotSources() []source {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]source, len(f.sources))
+	copy(out, f.sources)
+	return out
+}
+
+// expandedSources resolves vec sources into concrete per-label histogram
+// sources, merging same-label snapshots across vecs.
+func (f *Family) expandedSources() []source {
+	srcs := f.snapshotSources()
+	out := make([]source, 0, len(srcs))
+	var merged map[string]HistogramSnapshot
+	var vecScale float64
+	for _, s := range srcs {
+		if s.vec == nil {
+			out = append(out, s)
+			continue
+		}
+		vecScale = s.scale
+		for label, snap := range s.vec() {
+			if merged == nil {
+				merged = make(map[string]HistogramSnapshot)
+			}
+			if prev, ok := merged[label]; ok {
+				merged[label] = prev.Merge(snap)
+			} else {
+				merged[label] = snap
+			}
+		}
+	}
+	for label, snap := range merged {
+		snap := snap
+		out = append(out, source{label: label, hist: func() HistogramSnapshot { return snap }, scale: vecScale})
+	}
+	return out
+}
+
+// Registry is the central catalog every subsystem registers its metrics
+// into. One registry serves a whole process (gateway plus any in-proc
+// cluster nodes); families are created once and accumulate labeled sources
+// as nodes register.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*Family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*Family)}
+}
+
+// Register returns the family with the given name, creating it on first use.
+// Re-registering an existing name returns the same family (so five in-proc
+// nodes each add their labeled source to one mystore_wal_appends_total); the
+// first registration's help/type/label metadata wins.
+func (r *Registry) Register(name, help string, typ MetricType, labelName string) *Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		return f
+	}
+	f := &Family{name: name, help: help, typ: typ, labelName: labelName}
+	r.families[name] = f
+	return f
+}
+
+// CounterFunc registers a single-source counter family in one call.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.Register(name, help, TypeCounter, "").Add("", fn)
+}
+
+// GaugeFunc registers a single-source gauge family in one call.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Register(name, help, TypeGauge, "").Add("", fn)
+}
+
+func (r *Registry) sortedFamilies() []*Family {
+	r.mu.Lock()
+	out := make([]*Family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// escapeLabel escapes a label value per the Prometheus text format:
+// backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline (quotes pass
+// through, per the format spec).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// fmtFloat renders a sample value: integers without a mantissa, everything
+// else in shortest round-trip form.
+func fmtFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelPair renders {name="value"} (with extra appended inside the braces),
+// or the empty string for unlabeled samples.
+func labelPair(name, value, extra string) string {
+	switch {
+	case name == "" && extra == "":
+		return ""
+	case name == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return `{` + name + `="` + escapeLabel(value) + `"}`
+	default:
+		return `{` + name + `="` + escapeLabel(value) + `",` + extra + `}`
+	}
+}
+
+// WritePrometheus renders every family in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, sources by label value,
+// histograms as cumulative le-buckets plus _sum and _count. Hand-rendered on
+// the stdlib so the repo takes no client library dependency.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		sources := f.expandedSources()
+		if len(sources) == 0 {
+			continue
+		}
+		sort.SliceStable(sources, func(i, j int) bool { return sources[i].label < sources[j].label })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range sources {
+			if s.hist == nil {
+				if _, err := fmt.Fprintf(w, "%s%s %s\n",
+					f.name, labelPair(f.labelName, s.label, ""), fmtFloat(s.value()*s.scale)); err != nil {
+					return err
+				}
+				continue
+			}
+			snap := s.hist()
+			var cum int64
+			for i, c := range snap.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(snap.Bounds) {
+					le = fmtFloat(float64(snap.Bounds[i]) * s.scale)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					f.name, labelPair(f.labelName, s.label, `le="`+le+`"`), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+				f.name, labelPair(f.labelName, s.label, ""), fmtFloat(float64(snap.Sum)*s.scale),
+				f.name, labelPair(f.labelName, s.label, ""), snap.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot flattens the registry to name → value for the JSON /stats
+// endpoint: labeled sources sum into their family, histograms contribute
+// <name>_count and <name>_sum (both in the histogram's native unit,
+// unscaled).
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.expandedSources() {
+			if s.hist == nil {
+				out[f.name] += s.value() * s.scale
+				continue
+			}
+			snap := s.hist()
+			out[f.name+"_count"] += float64(snap.Count)
+			out[f.name+"_sum"] += float64(snap.Sum) * s.scale
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package metrics
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// buildFixtureRegistry assembles a registry whose rendered form is fully
+// deterministic: fixed counter values, a histogram with hand-placed samples,
+// labels exercising sort order and escaping.
+func buildFixtureRegistry() *Registry {
+	r := NewRegistry()
+	r.CounterFunc("mystore_test_requests_total", "Requests handled.", func() float64 { return 42 })
+	r.GaugeFunc("mystore_test_queue_depth", "Current queue depth.", func() float64 { return 7.5 })
+
+	shards := r.Register("mystore_test_cache_hits_total", "Cache hits per shard.", TypeCounter, "shard")
+	shards.Add("b", func() float64 { return 2 }) // registered out of order: render must sort
+	shards.Add("a", func() float64 { return 1 })
+	shards.Add(`quote"back\slash`+"\n", func() float64 { return 3 }) // escaping
+
+	help := r.Register("mystore_test_help_escape", "Line one\nline \\two.", TypeGauge, "")
+	help.Add("", func() float64 { return 0 })
+
+	h := NewBucketedHistogram([]int64{1_000_000, 10_000_000, 100_000_000}) // 1ms/10ms/100ms in ns
+	h.Observe(500_000)
+	h.Observe(5_000_000)
+	h.Observe(5_000_000)
+	h.Observe(2_000_000_000) // overflow
+	r.Register("mystore_test_latency_seconds", "Request latency.", TypeHistogram, "op").
+		AddHistogram("put", 1e-9, h.Snapshot)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixtureRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	goldenPath := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := buildFixtureRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of one registry differ")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	r := NewRegistry()
+	f1 := r.Register("mystore_x_total", "X.", TypeCounter, "node")
+	f2 := r.Register("mystore_x_total", "ignored", TypeGauge, "ignored")
+	if f1 != f2 {
+		t.Fatal("re-registering a name returned a different family")
+	}
+	f1.Add("n1", func() float64 { return 1 })
+	f2.Add("n2", func() float64 { return 2 })
+	snap := r.Snapshot()
+	if snap["mystore_x_total"] != 3 {
+		t.Fatalf("summed family = %v, want 3", snap["mystore_x_total"])
+	}
+}
+
+func TestSnapshotFlattensHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := NewBucketedHistogram([]int64{10})
+	h.Observe(4)
+	h.Observe(20)
+	r.Register("mystore_h", "H.", TypeHistogram, "").AddHistogram("", 1, h.Snapshot)
+	snap := r.Snapshot()
+	if snap["mystore_h_count"] != 2 || snap["mystore_h_sum"] != 24 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Sums honor the family scale, matching WritePrometheus (nanos → seconds).
+	r2 := NewRegistry()
+	r2.Register("mystore_h_seconds", "H.", TypeHistogram, "").AddHistogram("", 1e-9, h.Snapshot)
+	snap2 := r2.Snapshot()
+	if got := snap2["mystore_h_seconds_sum"]; got < 23.9e-9 || got > 24.1e-9 {
+		t.Fatalf("scaled sum = %v, want ~24e-9", got)
+	}
+	if snap2["mystore_h_seconds_count"] != 2 {
+		t.Fatalf("scaled count = %v", snap2["mystore_h_seconds_count"])
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixtureRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The +Inf bucket must equal the count and cumulate over lower buckets.
+	if !strings.Contains(out, `mystore_test_latency_seconds_bucket{op="put",le="+Inf"} 4`) {
+		t.Fatalf("missing cumulative +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `mystore_test_latency_seconds_bucket{op="put",le="0.001"} 1`) {
+		t.Fatalf("missing first bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `mystore_test_latency_seconds_count{op="put"} 4`) {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+}

@@ -9,8 +9,10 @@ import (
 
 	"mystore/internal/bson"
 	"mystore/internal/docstore"
+	"mystore/internal/metrics"
 	"mystore/internal/resilience"
 	"mystore/internal/ring"
+	"mystore/internal/trace"
 	"mystore/internal/transport"
 )
 
@@ -125,6 +127,10 @@ type Coordinator struct {
 	stats   Stats
 	lastVer int64
 
+	// Quorum-operation latency distributions behind /metrics.
+	putLatency *metrics.BucketedHistogram
+	getLatency *metrics.BucketedHistogram
+
 	// Per-target hint-redelivery backoff: a target that refused its last
 	// writeback is not re-pinged every round.
 	hintMu    sync.Mutex
@@ -143,7 +149,11 @@ func NewCoordinator(cfg Config, self string, rg *ring.Ring, tr transport.Transpo
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	c := &Coordinator{cfg: cfg, self: self, ring: rg, tr: tr, store: store}
+	c := &Coordinator{
+		cfg: cfg, self: self, ring: rg, tr: tr, store: store,
+		putLatency: metrics.NewBucketedHistogram(nil),
+		getLatency: metrics.NewBucketedHistogram(nil),
+	}
 	if err := store.C(RecordCollection).EnsureIndex("self-key", true); err != nil {
 		return nil, err
 	}
@@ -152,6 +162,14 @@ func NewCoordinator(cfg Config, self string, rg *ring.Ring, tr transport.Transpo
 	}
 	return c, nil
 }
+
+// PutLatency exposes the quorum-write latency histogram for registry
+// registration.
+func (c *Coordinator) PutLatency() *metrics.BucketedHistogram { return c.putLatency }
+
+// GetLatency exposes the quorum-read latency histogram for registry
+// registration.
+func (c *Coordinator) GetLatency() *metrics.BucketedHistogram { return c.getLatency }
 
 // Stats returns a snapshot of activity counters.
 func (c *Coordinator) Stats() Stats {
@@ -200,7 +218,13 @@ func (c *Coordinator) Delete(ctx context.Context, key string) error {
 // after retries receives a hint on the next ring node, which counts toward
 // the sloppy quorum ("if one node fails, the system writes to the next node
 // on the ring, makes each writing success").
-func (c *Coordinator) write(ctx context.Context, rec Record) error {
+func (c *Coordinator) write(ctx context.Context, rec Record) (err error) {
+	ctx, sp := trace.Start(ctx, "nwr.write")
+	start := c.cfg.Now()
+	defer func() {
+		c.putLatency.ObserveDuration(c.cfg.Now().Sub(start))
+		sp.End(err)
+	}()
 	targets, err := c.ring.Successors(rec.Key, c.cfg.N)
 	if err != nil {
 		return err
@@ -247,7 +271,16 @@ func (c *Coordinator) write(ctx context.Context, rec Record) error {
 // on the retry budget; a peer whose breaker is open gets no retries at all
 // — its calls would fast-fail anyway, so the write goes straight to the
 // hint path on the next live ring node.
-func (c *Coordinator) writeReplicaWithRecovery(ctx context.Context, targets []string, target string, rec Record) bool {
+func (c *Coordinator) writeReplicaWithRecovery(ctx context.Context, targets []string, target string, rec Record) (ok bool) {
+	ctx, sp := trace.Start(ctx, "nwr.replica")
+	sp.SetPeer(target)
+	defer func() {
+		if ok {
+			sp.End(nil)
+		} else {
+			sp.End(errors.New("replica write failed"))
+		}
+	}()
 	if c.writeReplica(ctx, target, rec) {
 		return true
 	}
@@ -318,7 +351,7 @@ func (c *Coordinator) ReadReplicaFrom(ctx context.Context, target, key string) (
 // writeReplica applies rec on target (locally or over the wire).
 func (c *Coordinator) writeReplica(ctx context.Context, target string, rec Record) bool {
 	if target == c.self {
-		return c.ApplyLocal(rec) == nil
+		return c.ApplyLocalCtx(ctx, rec) == nil
 	}
 	if c.Live != nil && !c.Live(target) {
 		return false
@@ -330,7 +363,16 @@ func (c *Coordinator) writeReplica(ctx context.Context, target string, rec Recor
 // storeHint parks rec on the first live node after the replica set,
 // recording the intended target for later writeback (Fig 8: node C holds
 // the replica and B's identifier).
-func (c *Coordinator) storeHint(ctx context.Context, replicaSet []string, target string, rec Record) bool {
+func (c *Coordinator) storeHint(ctx context.Context, replicaSet []string, target string, rec Record) (ok bool) {
+	ctx, sp := trace.Start(ctx, "nwr.hint")
+	sp.SetPeer(target)
+	defer func() {
+		if ok {
+			sp.End(nil)
+		} else {
+			sp.End(errors.New("no stand-in accepted the hint"))
+		}
+	}()
 	exclude := make(map[string]bool, len(replicaSet)+1)
 	for _, t := range replicaSet {
 		exclude[t] = true
@@ -349,7 +391,7 @@ func (c *Coordinator) storeHint(ctx context.Context, replicaSet []string, target
 			continue
 		}
 		if cand == c.self {
-			if err := c.storeHintLocal(target, rec); err == nil {
+			if err := c.storeHintLocal(ctx, target, rec); err == nil {
 				c.bump(func(s *Stats) { s.HintsStored++ })
 				return true
 			}
@@ -388,7 +430,13 @@ func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, error) {
 // GetEx is Get returning provenance. With Config.DegradedReads set, a read
 // that falls short of R but reached at least one replica returns that
 // replica's newest answer flagged Degraded instead of ErrQuorumRead.
-func (c *Coordinator) GetEx(ctx context.Context, key string) (GetResult, error) {
+func (c *Coordinator) GetEx(ctx context.Context, key string) (res GetResult, err error) {
+	ctx, sp := trace.Start(ctx, "nwr.read")
+	start := c.cfg.Now()
+	defer func() {
+		c.getLatency.ObserveDuration(c.cfg.Now().Sub(start))
+		sp.End(err)
+	}()
 	targets, err := c.ring.Successors(key, c.cfg.N)
 	if err != nil {
 		return GetResult{}, err
@@ -404,7 +452,10 @@ func (c *Coordinator) GetEx(ctx context.Context, key string) (GetResult, error) 
 		wg.Add(1)
 		go func(i int, target string) {
 			defer wg.Done()
-			rec, found, err := c.readReplica(ctx, target, key)
+			rctx, rsp := trace.Start(ctx, "nwr.replica.read")
+			rsp.SetPeer(target)
+			rec, found, err := c.readReplica(rctx, target, key)
+			rsp.End(err)
 			answers[i] = answer{rec: rec, found: found, ok: err == nil}
 		}(i, target)
 	}
@@ -491,6 +542,14 @@ func (c *Coordinator) readReplica(ctx context.Context, target, key string) (Reco
 
 // ApplyLocal merges rec into this node's store under last-write-wins.
 func (c *Coordinator) ApplyLocal(rec Record) error {
+	return c.ApplyLocalCtx(context.Background(), rec)
+}
+
+// ApplyLocalCtx is ApplyLocal carrying the caller's context so the store
+// mutation (and its WAL commit wait) appears in the request's trace.
+func (c *Coordinator) ApplyLocalCtx(ctx context.Context, rec Record) (err error) {
+	ctx, sp := trace.Start(ctx, "docstore.apply")
+	defer func() { sp.End(err) }()
 	if c.OnLocalOp != nil {
 		if err := c.OnLocalOp("put", len(rec.Val)); err != nil {
 			return err
@@ -502,11 +561,11 @@ func (c *Coordinator) ApplyLocal(rec Record) error {
 		return err
 	}
 	if !found {
-		_, err := coll.Insert(rec.WithId(c.cfg.Now()))
+		_, err := coll.InsertCtx(ctx, rec.WithId(c.cfg.Now()))
 		if errors.Is(err, docstore.ErrDuplicate) {
 			// Raced with another writer for first materialization; retry as
 			// an update through the now-existing row.
-			return c.ApplyLocal(rec)
+			return c.ApplyLocalCtx(ctx, rec)
 		}
 		return err
 	}
@@ -519,7 +578,7 @@ func (c *Coordinator) ApplyLocal(rec Record) error {
 	}
 	id, _ := existing.Get("_id")
 	doc := append(bson.D{{Key: "_id", Value: id}}, rec.ToDoc()...)
-	return coll.Update(doc)
+	return coll.UpdateCtx(ctx, doc)
 }
 
 // GetLocal reads key's record from this node's store.
@@ -547,13 +606,13 @@ func (c *Coordinator) GetLocal(key string) (Record, bool, error) {
 }
 
 // storeHintLocal parks a hint on this node.
-func (c *Coordinator) storeHintLocal(target string, rec Record) error {
+func (c *Coordinator) storeHintLocal(ctx context.Context, target string, rec Record) error {
 	if c.OnLocalOp != nil {
 		if err := c.OnLocalOp("hint", len(rec.Val)); err != nil {
 			return err
 		}
 	}
-	_, err := c.store.C(HintCollection).Insert(bson.D{
+	_, err := c.store.C(HintCollection).InsertCtx(ctx, bson.D{
 		{Key: "target", Value: target},
 		{Key: "record", Value: rec.ToDoc()},
 	})
@@ -732,14 +791,14 @@ func (c *Coordinator) pingTarget(ctx context.Context, target string) bool {
 
 // HandleMessage serves the replica-side protocol; the cluster mux routes
 // nwr.* messages here.
-func (c *Coordinator) HandleMessage(_ context.Context, msg transport.Message) (bson.D, error) {
+func (c *Coordinator) HandleMessage(ctx context.Context, msg transport.Message) (bson.D, error) {
 	switch msg.Type {
 	case MsgPutReplica:
 		rec, err := RecordFromDoc(msg.Body)
 		if err != nil {
 			return nil, err
 		}
-		if err := c.ApplyLocal(rec); err != nil {
+		if err := c.ApplyLocalCtx(ctx, rec); err != nil {
 			return nil, err
 		}
 		return bson.D{{Key: "ok", Value: true}}, nil
@@ -764,7 +823,7 @@ func (c *Coordinator) HandleMessage(_ context.Context, msg transport.Message) (b
 		if err != nil {
 			return nil, err
 		}
-		if err := c.storeHintLocal(target, rec); err != nil {
+		if err := c.storeHintLocal(ctx, target, rec); err != nil {
 			return nil, err
 		}
 		return bson.D{{Key: "ok", Value: true}}, nil

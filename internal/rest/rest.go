@@ -11,10 +11,13 @@ package rest
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -22,6 +25,8 @@ import (
 	"mystore/internal/auth"
 	"mystore/internal/cache"
 	"mystore/internal/dispatch"
+	"mystore/internal/metrics"
+	"mystore/internal/trace"
 	"mystore/internal/uuid"
 )
 
@@ -56,6 +61,18 @@ type Config struct {
 	// with 503 + Retry-After instead of run. Zero means 10s; negative
 	// disables the deadline.
 	RequestTimeout time.Duration
+	// Metrics, when non-nil, receives the gateway's metric families
+	// (requests, latency, dispatch, per-server cache counters) and is
+	// rendered at /metrics in the Prometheus text format. The registry's
+	// snapshot also folds into /stats.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, is installed into every /data request context so
+	// each layer the request crosses records a span; finished traces are
+	// served at /debug/traces.
+	Trace *trace.Collector
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (off by default:
+	// profiles expose more than operators usually want on a data port).
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,15 +108,58 @@ type Gateway struct {
 
 	requests, cacheHits, cacheMisses, errs atomic.Int64
 	shed, deadlineMisses                   atomic.Int64
+	reqLatency                             *metrics.BucketedHistogram
 }
 
 // NewGateway builds a gateway over backend.
 func NewGateway(backend Backend, cfg Config) *Gateway {
 	cfg = cfg.withDefaults()
-	return &Gateway{
-		cfg:     cfg,
-		backend: backend,
-		pool:    dispatch.NewPool(cfg.Workers, cfg.QueueDepth),
+	g := &Gateway{
+		cfg:        cfg,
+		backend:    backend,
+		pool:       dispatch.NewPool(cfg.Workers, cfg.QueueDepth),
+		reqLatency: metrics.NewBucketedHistogram(nil),
+	}
+	if cfg.Metrics != nil {
+		g.registerMetrics(cfg.Metrics)
+	}
+	return g
+}
+
+// registerMetrics adds the gateway-side families: HTTP counters and latency,
+// the dispatch pool, and per-server cache traffic.
+func (g *Gateway) registerMetrics(r *metrics.Registry) {
+	r.CounterFunc("mystore_gateway_requests_total", "HTTP /data requests received.",
+		func() float64 { return float64(g.requests.Load()) })
+	r.CounterFunc("mystore_gateway_errors_total", "HTTP /data requests answered with an error.",
+		func() float64 { return float64(g.errs.Load()) })
+	r.CounterFunc("mystore_gateway_shed_total", "HTTP /data requests answered 503 under overload.",
+		func() float64 { return float64(g.shed.Load()) })
+	r.Register("mystore_gateway_request_seconds", "End-to-end /data request latency.", metrics.TypeHistogram, "").
+		AddHistogram("", 1e-9, g.reqLatency.Snapshot)
+
+	r.CounterFunc("mystore_dispatch_dispatched_total", "Requests accepted by the worker pool.",
+		func() float64 { return float64(g.pool.Stats().Dispatched) })
+	r.CounterFunc("mystore_dispatch_completed_total", "Requests finished by the worker pool.",
+		func() float64 { return float64(g.pool.Stats().Completed) })
+	r.CounterFunc("mystore_dispatch_shed_total", "Queued requests dropped because their deadline expired before a worker reached them.",
+		func() float64 { return float64(g.pool.Stats().Shed) })
+	r.Register("mystore_dispatch_queue_wait_seconds", "Time requests spend queued before a worker picks them up.", metrics.TypeHistogram, "").
+		AddHistogram("", 1e-9, g.pool.QueueWait().Snapshot)
+
+	if g.cfg.Cache != nil {
+		hits := r.Register("mystore_cache_hits_total", "Cache hits by cache server.", metrics.TypeCounter, "server")
+		misses := r.Register("mystore_cache_misses_total", "Cache misses by cache server.", metrics.TypeCounter, "server")
+		evictions := r.Register("mystore_cache_evictions_total", "LRU evictions by cache server.", metrics.TypeCounter, "server")
+		bytes := r.Register("mystore_cache_used_bytes", "Bytes of cached values by cache server.", metrics.TypeGauge, "server")
+		for i, srv := range g.cfg.Cache.Servers() {
+			srv := srv
+			label := strconv.Itoa(i)
+			hits.Add(label, func() float64 { return float64(srv.Stats().Hits) })
+			misses.Add(label, func() float64 { return float64(srv.Stats().Misses) })
+			evictions.Add(label, func() float64 { return float64(srv.Stats().Evictions) })
+			bytes.Add(label, func() float64 { return float64(srv.UsedBytes()) })
+		}
 	}
 }
 
@@ -126,25 +186,109 @@ func (g *Gateway) Stats() Stats {
 //	DELETE /data/{key}   delete
 //	GET    /token?user=u issue a request token (when auth is enabled)
 //	GET    /stats        gateway counters as JSON (unauthenticated)
+//	GET    /metrics      Prometheus text exposition (when Config.Metrics set)
+//	GET    /debug/traces recent request traces as JSON (when Config.Trace set)
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/data/", g.handleData)
 	mux.HandleFunc("/token", g.handleToken)
 	mux.HandleFunc("/stats", g.handleStats)
+	mux.HandleFunc("/metrics", g.handleMetrics)
+	mux.HandleFunc("/debug/traces", g.handleTraces)
+	if g.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
+// handleStats answers the JSON counters endpoint. The historical keys
+// (requests, cacheHits, workers, completed, ...) are always present; when a
+// registry is configured its flattened snapshot rides along, so one curl
+// shows WAL, NWR and breaker state next to the gateway counters.
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := g.Stats()
 	ps := g.pool.Stats()
+	out := map[string]any{
+		"requests":       st.Requests,
+		"cacheHits":      st.CacheHits,
+		"cacheMisses":    st.CacheMisses,
+		"errors":         st.Errors,
+		"shed":           st.Shed,
+		"deadlineMisses": st.DeadlineMisses,
+		"workers":        g.pool.Workers(),
+		"dispatched":     ps.Dispatched,
+		"completed":      ps.Completed,
+		"failed":         ps.Failed,
+		"poolShed":       ps.Shed,
+	}
+	if g.cfg.Metrics != nil {
+		for name, v := range g.cfg.Metrics.Snapshot() {
+			if _, taken := out[name]; !taken {
+				out[name] = v
+			}
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, `{"requests":%d,"cacheHits":%d,"cacheMisses":%d,"errors":%d,`+
-		`"shed":%d,"deadlineMisses":%d,`+
-		`"workers":%d,"dispatched":%d,"completed":%d,"failed":%d,"poolShed":%d}`,
-		st.Requests, st.CacheHits, st.CacheMisses, st.Errors,
-		st.Shed, st.DeadlineMisses,
-		g.pool.Workers(), ps.Dispatched, ps.Completed, ps.Failed, ps.Shed)
-	fmt.Fprintln(w)
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if g.cfg.Metrics == nil {
+		http.Error(w, "metrics disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.cfg.Metrics.WritePrometheus(w) //nolint:errcheck
+}
+
+// traceOut renders a trace with its id in hex (the id is a raw uint64
+// internally, which JSON would mangle past 2^53).
+type traceOut struct {
+	ID string `json:"id"`
+	trace.Trace
+}
+
+// handleTraces serves recent finished traces, newest first. ?n= bounds the
+// count (default 20), ?slow=1 keeps only traces past the slow threshold,
+// ?id=<hex> looks one trace up by id.
+func (g *Gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if g.cfg.Trace == nil {
+		http.Error(w, "tracing disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hex := r.URL.Query().Get("id"); hex != "" {
+		id, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		t, ok := g.cfg.Trace.TraceByID(trace.ID(id))
+		if !ok {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		json.NewEncoder(w).Encode(traceOut{ID: fmt.Sprintf("%016x", uint64(t.ID)), Trace: t}) //nolint:errcheck
+		return
+	}
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n <= 0 {
+		n = 20
+	}
+	slowOnly := r.URL.Query().Get("slow") != ""
+	traces := g.cfg.Trace.Traces(n)
+	out := make([]traceOut, 0, len(traces))
+	for _, t := range traces {
+		if slowOnly && !t.Slow {
+			continue
+		}
+		out = append(out, traceOut{ID: fmt.Sprintf("%016x", uint64(t.ID)), Trace: t})
+	}
+	json.NewEncoder(w).Encode(out) //nolint:errcheck
 }
 
 func (g *Gateway) handleToken(w http.ResponseWriter, r *http.Request) {
@@ -177,6 +321,32 @@ func (g *Gateway) handleData(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 		r = r.WithContext(ctx)
 	}
+	var opName string
+	switch r.Method {
+	case http.MethodGet:
+		opName = "rest.get"
+	case http.MethodPost:
+		opName = "rest.post"
+	case http.MethodDelete:
+		opName = "rest.delete"
+	default:
+		g.errs.Add(1)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	// The root span: every span any layer below opens — dispatch queue,
+	// coordinator fan-out, transport, WAL commit — descends from it, and its
+	// end finalizes the trace.
+	if g.cfg.Trace != nil {
+		r = r.WithContext(trace.WithCollector(r.Context(), g.cfg.Trace))
+	}
+	ctx, sp := trace.Start(r.Context(), opName)
+	r = r.WithContext(ctx)
+	start := time.Now()
+	defer func() {
+		g.reqLatency.ObserveDuration(time.Since(start))
+		sp.End(nil)
+	}()
 	key := strings.TrimPrefix(r.URL.Path, "/data/")
 	switch r.Method {
 	case http.MethodGet:
@@ -185,9 +355,6 @@ func (g *Gateway) handleData(w http.ResponseWriter, r *http.Request) {
 		g.handlePost(w, r, key)
 	case http.MethodDelete:
 		g.handleDelete(w, r, key)
-	default:
-		g.errs.Add(1)
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 	}
 }
 

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"mystore/internal/bson"
+	"mystore/internal/metrics"
+	"mystore/internal/trace"
 )
 
 // MemNetwork is an in-memory network of endpoints. Calls run the remote
@@ -87,7 +89,7 @@ func (n *MemNetwork) Endpoint(addr string) (*MemTransport, error) {
 	if _, ok := n.endpoints[addr]; ok {
 		return nil, fmt.Errorf("transport: address %q already attached", addr)
 	}
-	t := &MemTransport{net: n, addr: addr}
+	t := &MemTransport{net: n, addr: addr, rpcLatency: metrics.NewHistogramVec(nil)}
 	n.endpoints[addr] = t
 	return t, nil
 }
@@ -194,11 +196,16 @@ type MemTransport struct {
 	closed  bool
 
 	deadlineDropped atomic.Int64
+	rpcLatency      *metrics.HistogramVec
 }
 
 // DeadlineDropped counts requests dropped because the caller's deadline had
 // already expired when they reached this endpoint's handler.
 func (t *MemTransport) DeadlineDropped() int64 { return t.deadlineDropped.Load() }
+
+// RPCLatency exposes the per-peer request/response latency histograms for
+// registry registration.
+func (t *MemTransport) RPCLatency() *metrics.HistogramVec { return t.rpcLatency }
 
 // Addr implements Transport.
 func (t *MemTransport) Addr() string { return t.addr }
@@ -210,7 +217,9 @@ func (t *MemTransport) SetHandler(h Handler) {
 	t.handler = h
 }
 
-// Call implements Transport.
+// Call implements Transport. The remote handler runs in this goroutine with
+// this context, so the caller's trace (and collector) flows to the remote
+// side without any wire encoding.
 func (t *MemTransport) Call(ctx context.Context, to string, msg Message) (bson.D, error) {
 	t.mu.RLock()
 	closed := t.closed
@@ -218,8 +227,14 @@ func (t *MemTransport) Call(ctx context.Context, to string, msg Message) (bson.D
 	if closed {
 		return nil, ErrClosed
 	}
+	ctx, sp := trace.Start(ctx, "transport.call")
+	sp.SetPeer(to)
 	msg.From = t.addr
-	return t.net.deliver(ctx, t.addr, to, msg)
+	start := time.Now()
+	body, err := t.net.deliver(ctx, t.addr, to, msg)
+	t.rpcLatency.With(to).ObserveDuration(time.Since(start))
+	sp.End(err)
+	return body, err
 }
 
 // Close implements Transport. The address remains reserved (a restarted

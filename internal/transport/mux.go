@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mystore/internal/bson"
+	"mystore/internal/trace"
 )
 
 // Multiplexed TCP mode: many in-flight calls share one connection per peer
@@ -222,7 +223,7 @@ func (t *TCPTransport) dropMux(to string, mc *muxConn) {
 }
 
 func (t *TCPTransport) callMux(ctx context.Context, to string, msg Message, deadline time.Time) (bson.D, error) {
-	enc, err := bson.Marshal(requestDoc(t.addr, msg, deadline))
+	enc, err := bson.Marshal(requestDoc(ctx, t.addr, msg, deadline))
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +322,20 @@ func (t *TCPTransport) handleRequest(payload []byte) bson.D {
 			var cancel context.CancelFunc
 			ctx, cancel = context.WithDeadline(ctx, deadline)
 			defer cancel()
+		}
+	}
+	// Re-join the caller's trace against the node-local collector so server
+	// spans carry the originating trace id ("tr") parented to the caller's
+	// span ("sp").
+	if c := t.tracer.Load(); c != nil {
+		if v, ok := req.Get("tr"); ok {
+			if id, isInt := v.(int64); isInt && id != 0 {
+				parent := int64(0)
+				if pv, ok := req.Get("sp"); ok {
+					parent, _ = pv.(int64)
+				}
+				ctx = trace.Join(ctx, c, trace.ID(id), uint64(parent))
+			}
 		}
 	}
 	msg := Message{

@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"mystore/internal/bson"
+	"mystore/internal/metrics"
+	"mystore/internal/trace"
 )
 
 // TCP transport: each request is one length-prefixed BSON frame
@@ -76,12 +78,24 @@ type TCPTransport struct {
 	wg       sync.WaitGroup
 
 	deadlineDropped atomic.Int64
+	rpcLatency      *metrics.HistogramVec
+	tracer          atomic.Pointer[trace.Collector]
 }
 
 // DeadlineDropped counts requests that arrived with their propagated
 // deadline already expired and were answered with an error without invoking
 // the handler.
 func (t *TCPTransport) DeadlineDropped() int64 { return t.deadlineDropped.Load() }
+
+// RPCLatency exposes the per-peer request/response latency histograms for
+// registry registration.
+func (t *TCPTransport) RPCLatency() *metrics.HistogramVec { return t.rpcLatency }
+
+// SetTracer installs the node-local collector incoming requests join their
+// on-wire trace ids against ("tr"/"sp" frame fields). Spans recorded here
+// land in the collector's stray ring, correlated to the gateway's trace by
+// id.
+func (t *TCPTransport) SetTracer(c *trace.Collector) { t.tracer.Store(c) }
 
 // ListenTCP starts a transport listening on addr ("host:port"; ":0" picks a
 // free port — read the bound address back with Addr).
@@ -91,12 +105,13 @@ func ListenTCP(addr string, opts TCPOptions) (*TCPTransport, error) {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
 	t := &TCPTransport{
-		opts:     opts.withDefaults(),
-		listener: ln,
-		addr:     ln.Addr().String(),
-		pools:    make(map[string][]net.Conn),
-		muxConns: make(map[string]*muxConn),
-		serving:  make(map[net.Conn]struct{}),
+		opts:       opts.withDefaults(),
+		listener:   ln,
+		addr:       ln.Addr().String(),
+		pools:      make(map[string][]net.Conn),
+		muxConns:   make(map[string]*muxConn),
+		serving:    make(map[net.Conn]struct{}),
+		rpcLatency: metrics.NewHistogramVec(nil),
 	}
 	t.wg.Add(1)
 	go t.acceptLoop()
@@ -169,6 +184,16 @@ func (t *TCPTransport) serveLegacy(conn net.Conn, lead [4]byte) {
 
 // Call implements Transport.
 func (t *TCPTransport) Call(ctx context.Context, to string, msg Message) (bson.D, error) {
+	ctx, sp := trace.Start(ctx, "transport.call")
+	sp.SetPeer(to)
+	start := time.Now()
+	body, err := t.call(ctx, to, msg)
+	t.rpcLatency.With(to).ObserveDuration(time.Since(start))
+	sp.End(err)
+	return body, err
+}
+
+func (t *TCPTransport) call(ctx context.Context, to string, msg Message) (bson.D, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -201,7 +226,7 @@ func (t *TCPTransport) Call(ctx context.Context, to string, msg Message) (bson.D
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, err
 	}
-	req := requestDoc(t.addr, msg, deadline)
+	req := requestDoc(ctx, t.addr, msg, deadline)
 	if err := writeFrame(conn, req); err != nil {
 		return nil, classifyNetErr(err)
 	}
@@ -299,14 +324,21 @@ func (t *TCPTransport) Close() error {
 }
 
 // requestDoc builds the wire request document, carrying the call deadline
-// as unix-nanos ("dl") so the server can abort work whose caller gave up.
-func requestDoc(from string, msg Message, deadline time.Time) bson.D {
+// as unix-nanos ("dl") so the server can abort work whose caller gave up,
+// and the caller's trace identity ("tr" trace id, "sp" parent span id) so
+// the server's spans correlate with the originating request.
+func requestDoc(ctx context.Context, from string, msg Message, deadline time.Time) bson.D {
 	req := bson.D{
 		{Key: "type", Value: msg.Type},
 		{Key: "from", Value: from},
 	}
 	if !deadline.IsZero() {
 		req = append(req, bson.E{Key: "dl", Value: deadline.UnixNano()})
+	}
+	if id, span, ok := trace.Wire(ctx); ok {
+		req = append(req,
+			bson.E{Key: "tr", Value: int64(id)},
+			bson.E{Key: "sp", Value: int64(span)})
 	}
 	if msg.Body != nil {
 		req = append(req, bson.E{Key: "body", Value: msg.Body})

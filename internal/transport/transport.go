@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"mystore/internal/bson"
+	"mystore/internal/metrics"
 )
 
 // Message is one request travelling between nodes.
@@ -48,6 +49,18 @@ type Transport interface {
 	// Close detaches the endpoint; subsequent calls to it fail with
 	// ErrUnreachable.
 	Close() error
+}
+
+// Instrumented is the optional interface both built-in transports satisfy;
+// the cluster layer uses it to register per-peer RPC latency and
+// deadline-drop counters without knowing the concrete type.
+type Instrumented interface {
+	// RPCLatency holds one request/response latency histogram per peer
+	// address this endpoint has called.
+	RPCLatency() *metrics.HistogramVec
+	// DeadlineDropped counts requests dropped on arrival because the
+	// caller's propagated deadline had already expired.
+	DeadlineDropped() int64
 }
 
 // Errors surfaced by transports. ErrUnreachable covers refused connections,

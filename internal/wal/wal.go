@@ -129,7 +129,20 @@ type Log struct {
 	batches     metrics.Counter // fsyncs that covered >= 1 new record
 	batchedRecs metrics.Counter // records made durable by those fsyncs
 	maxBatch    int64           // largest single-fsync batch, guarded by syncMu
+
+	// Production distributions behind /metrics: how long each fsync took and
+	// how many records it covered.
+	fsyncDur  *metrics.BucketedHistogram
+	batchSize *metrics.BucketedHistogram
 }
+
+// FsyncLatency exposes the per-fsync duration histogram for registry
+// registration.
+func (l *Log) FsyncLatency() *metrics.BucketedHistogram { return l.fsyncDur }
+
+// BatchSizes exposes the records-per-group-fsync histogram for registry
+// registration.
+func (l *Log) BatchSizes() *metrics.BucketedHistogram { return l.batchSize }
 
 // Open opens (creating if needed) the log in dir, scans existing segments,
 // truncates a torn tail if one exists, and positions the log for appending.
@@ -138,7 +151,13 @@ func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: create dir: %w", err)
 	}
-	l := &Log{dir: dir, opts: opts, next: 1}
+	l := &Log{
+		dir:       dir,
+		opts:      opts,
+		next:      1,
+		fsyncDur:  metrics.NewBucketedHistogram(nil),
+		batchSize: metrics.NewBucketedHistogram(metrics.DefaultSizeBounds()),
+	}
 	l.syncCond = sync.NewCond(&l.syncMu)
 
 	segs, err := listSegments(dir)
@@ -321,9 +340,12 @@ func (l *Log) AppendNoWait(rec []byte) (LSN, error) {
 	l.appends.Inc()
 	if l.opts.SyncEveryAppend && l.opts.GroupCommit.Disable {
 		// Seed behaviour: one fsync per record, inside the append lock.
+		start := time.Now()
 		if err := l.file.Sync(); err != nil {
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
+		l.fsyncDur.ObserveDuration(time.Since(start))
+		l.batchSize.Observe(1)
 		l.fsyncs.Inc()
 		l.markDurable(l.next)
 	}
@@ -393,7 +415,11 @@ func (l *Log) leaderSync(gc GroupCommit) {
 		// fsync outside l.mu: concurrent appends may land past target and
 		// be flushed early, which is harmless — syncedLSN only advances to
 		// target, a lower bound on what this fsync covered.
+		start := time.Now()
 		err = f.Sync()
+		if err == nil {
+			l.fsyncDur.ObserveDuration(time.Since(start))
+		}
 	}
 
 	l.syncMu.Lock()
@@ -408,6 +434,7 @@ func (l *Log) leaderSync(gc GroupCommit) {
 			batch := int64(target - l.syncedLSN)
 			l.batches.Inc()
 			l.batchedRecs.Add(batch)
+			l.batchSize.Observe(batch)
 			if batch > l.maxBatch {
 				l.maxBatch = batch
 			}
@@ -443,8 +470,10 @@ func (l *Log) Sync() error {
 		l.mu.Unlock()
 		return ErrClosed
 	}
+	start := time.Now()
 	err := l.file.Sync()
 	if err == nil {
+		l.fsyncDur.ObserveDuration(time.Since(start))
 		l.fsyncs.Inc()
 		l.markDurable(l.next - 1)
 	}

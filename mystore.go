@@ -30,7 +30,9 @@ import (
 	"mystore/internal/bson"
 	"mystore/internal/cluster"
 	"mystore/internal/docstore"
+	"mystore/internal/metrics"
 	"mystore/internal/nwr"
+	"mystore/internal/trace"
 	"mystore/internal/transport"
 	"mystore/internal/wal"
 )
@@ -64,7 +66,23 @@ type (
 	ClientOptions = cluster.ClientOptions
 	// Node is one storage node.
 	Node = cluster.Node
+	// MetricsRegistry is the central metric catalog subsystems register
+	// into; serve it at /metrics via GatewayOptions.Metrics.
+	MetricsRegistry = metrics.Registry
+	// TraceCollector gathers per-request traces; install it via
+	// GatewayOptions.Trace and read it back at /debug/traces.
+	TraceCollector = trace.Collector
 )
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// NewTraceCollector returns a trace collector. Traces at least slowThreshold
+// long are additionally written to the slow-op log; zero disables the log
+// but still collects traces.
+func NewTraceCollector(slowThreshold time.Duration) *TraceCollector {
+	return trace.NewCollector(trace.Config{SlowThreshold: slowThreshold})
+}
 
 // Aggregation accumulator kinds, re-exported for GroupSpec construction.
 const (
@@ -330,6 +348,16 @@ func (c *Cluster) Nodes() []*cluster.Node {
 	return nodes
 }
 
+// RegisterMetrics adds every node's subsystem metrics (WAL, store, NWR,
+// gossip, breakers, transport) to r, one labeled source per node. Call it
+// once after StartCluster; nodes added later register via their own
+// RegisterMetrics.
+func (c *Cluster) RegisterMetrics(r *MetricsRegistry) {
+	for _, n := range c.Nodes() {
+		n.RegisterMetrics(r)
+	}
+}
+
 // Network exposes the simulated network for fault injection.
 func (c *Cluster) Network() *transport.MemNetwork { return c.net }
 
@@ -437,6 +465,9 @@ type NodeOptions struct {
 	Durable bool
 	// GossipInterval defaults to 1s.
 	GossipInterval time.Duration
+	// Tracer, when non-nil, is the node-local trace collector incoming
+	// requests join their on-wire trace ids against.
+	Tracer *TraceCollector
 }
 
 // ListenNode starts a networked storage node serving on addr and begins
@@ -462,6 +493,7 @@ func ListenNode(ctx context.Context, addr string, opts NodeOptions) (*Node, erro
 		StoreDir:       opts.DataDir,
 		Store:          docstore.Options{WAL: wal.Options{SyncEveryAppend: opts.Durable}},
 		GossipInterval: opts.GossipInterval,
+		Tracer:         opts.Tracer,
 	})
 	if err != nil {
 		tr.Close()

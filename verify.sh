@@ -1,7 +1,8 @@
 #!/bin/sh
 # verify.sh — the repo's tier-1 gate: vet, build, full test suite, and the
-# race detector on the write path (docstore, wal, transport, nwr) plus the
-# resilience-bearing packages (cluster, gossip, cache, dispatch, resilience).
+# race detector on the write path (docstore, wal, transport, nwr), the
+# resilience-bearing packages (cluster, gossip, cache, dispatch, resilience)
+# and the observability packages (metrics, trace).
 # CI and pre-commit both run exactly this.
 set -eux
 
@@ -9,4 +10,5 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/docstore ./internal/wal ./internal/transport ./internal/nwr \
-	./internal/cluster ./internal/gossip ./internal/cache ./internal/dispatch ./internal/resilience
+	./internal/cluster ./internal/gossip ./internal/cache ./internal/dispatch ./internal/resilience \
+	./internal/metrics ./internal/trace
