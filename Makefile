@@ -1,4 +1,4 @@
-.PHONY: verify test bench chaos obs-smoke
+.PHONY: verify test bench bench-read chaos obs-smoke
 
 verify:
 	./verify.sh
@@ -8,6 +8,12 @@ test:
 
 bench:
 	go test -bench=. -benchmem
+
+# bench-read runs the A8 read-path ablation (quorum-first / hedge / coalesce
+# vs the seed's wait-for-all read, one slow replica) at a fixed seed and
+# records its rows under "read_path" in BENCH_results.json.
+bench-read:
+	go run ./cmd/mystore-bench -quick -seed 42 -json BENCH_results.json read_path
 
 # chaos runs the resilience gate: randomized fault schedules, crash-restarts
 # with WAL recovery, and partitions; exits non-zero on any lost acked write,

@@ -41,6 +41,13 @@ func (b ClusterBackend) Get(ctx context.Context, key string) ([]byte, error) {
 	return val, err
 }
 
+// GetMany implements rest.BatchBackend: the whole key set travels to one
+// storage node, which coordinates a batched quorum read with one replica RPC
+// per peer.
+func (b ClusterBackend) GetMany(ctx context.Context, keys []string) (map[string][]byte, map[string]string, error) {
+	return b.Client.GetMany(ctx, keys)
+}
+
 // Delete implements rest.Backend.
 func (b ClusterBackend) Delete(ctx context.Context, key string) error {
 	return b.Client.Delete(ctx, key)
@@ -112,3 +119,4 @@ func NewGateway(backend rest.Backend, opts GatewayOptions) *Gateway {
 func NewTokenDB() *auth.TokenDB { return auth.NewTokenDB(0) }
 
 var _ rest.Backend = ClusterBackend{}
+var _ rest.BatchBackend = ClusterBackend{}

@@ -7,7 +7,10 @@
 //	mystore-bench [flags] <experiment>
 //
 // Experiments: fig11, fig12, fig13 (covers Fig 14 too), fig15, fig16,
-// fig17, context, soak, chaos, ablate, all. The chaos experiment is the
+// fig17, context, soak, chaos, ablate, read_path, all. The read_path
+// experiment is the A8 study: read tail latency under one slow replica for
+// the full quorum-first/hedged/coalesced path against each piece ablated,
+// plus the hot-key coalescing bound. The chaos experiment is the
 // resilience gate: randomized Table 2 faults plus crash-restarts and
 // partitions, exiting non-zero if any acked write is lost, any hint queue
 // fails to drain, or any request overruns its deadline by more than one
@@ -45,7 +48,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|chaos|ablate|all")
+		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|chaos|ablate|read_path|all")
 		os.Exit(2)
 	}
 
@@ -114,9 +117,10 @@ func main() {
 		return res, err
 	})
 	run("ablate", func() (fmt.Stringer, error) { return experiments.RunAblations(scale) })
+	run("read_path", func() (fmt.Stringer, error) { return experiments.RunReadPathAblation(scale) })
 
 	switch which {
-	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "chaos", "ablate", "all":
+	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "chaos", "ablate", "read_path", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)

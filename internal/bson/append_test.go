@@ -1,0 +1,68 @@
+package bson
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAppendToMatchesMarshal(t *testing.T) {
+	doc := D{
+		{Key: "s", Value: "hello"},
+		{Key: "i", Value: int64(99)},
+		{Key: "b", Value: []byte{1, 2, 3}},
+		{Key: "sub", Value: D{{Key: "x", Value: true}}},
+	}
+	enc, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("prefix-")
+	out, err := AppendTo(append([]byte(nil), prefix...), doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out[:len(prefix)], prefix) {
+		t.Fatal("AppendTo clobbered the existing buffer prefix")
+	}
+	if !bytes.Equal(out[len(prefix):], enc) {
+		t.Fatal("AppendTo payload differs from Marshal")
+	}
+}
+
+func TestAppendToErrorRestoresLength(t *testing.T) {
+	buf := append(make([]byte, 0, 64), "keep"...)
+	out, err := AppendTo(buf, D{{Key: "bad", Value: struct{}{}}})
+	if err == nil {
+		t.Fatal("want encode error for unsupported type")
+	}
+	if string(out) != "keep" {
+		t.Fatalf("buffer after error = %q, want original prefix", string(out))
+	}
+}
+
+// TestAppendToZeroAlloc pins the encode-buffer pooling win: encoding a flat
+// document (the shape of every RPC envelope and record) into a pre-sized
+// buffer allocates nothing.
+func TestAppendToZeroAlloc(t *testing.T) {
+	doc := D{
+		{Key: "type", Value: "nwr.get.replica"},
+		{Key: "from", Value: "127.0.0.1:7001"},
+		{Key: "dl", Value: int64(1722945000000000000)},
+		{Key: "body", Value: D{
+			{Key: "self-key", Value: "user:42"},
+			{Key: "val", Value: []byte("0123456789abcdef")},
+			{Key: "ver", Value: int64(3)},
+		}},
+	}
+	buf := make([]byte, 0, 512)
+	allocs := testing.AllocsPerRun(100, func() {
+		out, err := AppendTo(buf[:0], doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = out[:0]
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendTo allocated %.1f times per document, want 0", allocs)
+	}
+}

@@ -190,15 +190,23 @@ func valueString(v any) string {
 
 // Marshal encodes the document into BSON bytes.
 func Marshal(d D) ([]byte, error) {
-	buf := make([]byte, 0, 128)
-	buf, err := appendDocument(buf, d, 0)
+	return AppendTo(make([]byte, 0, 128), d)
+}
+
+// AppendTo encodes the document into BSON appended to dst, returning the
+// extended slice. Marshal is AppendTo with a fresh buffer; RPC hot paths
+// pass a pooled one so encoding a frame costs no allocation. On error dst is
+// returned truncated to its original length.
+func AppendTo(dst []byte, d D) ([]byte, error) {
+	start := len(dst)
+	out, err := appendDocument(dst, d, 0)
 	if err != nil {
-		return nil, err
+		return dst[:start], err
 	}
-	if len(buf) > MaxDocumentSize {
-		return nil, ErrTooLarge
+	if len(out)-start > MaxDocumentSize {
+		return dst[:start], ErrTooLarge
 	}
-	return buf, nil
+	return out, nil
 }
 
 func appendDocument(buf []byte, d D, depth int) ([]byte, error) {

@@ -243,6 +243,27 @@ func (t *Tier) pick(key string) *Server {
 // Get looks the key up on its server.
 func (t *Tier) Get(key string) ([]byte, bool) { return t.pick(key).Get(key) }
 
+// GetMany looks every key up on its server, returning the hits plus the
+// miss set in first-seen order (duplicates collapsed). The gateway's batch
+// endpoint consults the tier once, then fetches the whole miss set from the
+// backend in a single batched round.
+func (t *Tier) GetMany(keys []string) (found map[string][]byte, missing []string) {
+	found = make(map[string][]byte, len(keys))
+	seen := make(map[string]bool, len(keys))
+	for _, k := range keys {
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if v, ok := t.pick(k).Get(k); ok {
+			found[k] = v
+		} else {
+			missing = append(missing, k)
+		}
+	}
+	return found, missing
+}
+
 // Set stores the key on its server.
 func (t *Tier) Set(key string, val []byte) { t.pick(key).Set(key, val) }
 

@@ -200,6 +200,55 @@ func (c *Client) Get(ctx context.Context, key string) ([]byte, error) {
 	return b, nil
 }
 
+// GetMany fetches several keys in one round trip: the receiving node
+// coordinates a batched quorum read with one replica RPC per peer. The first
+// map holds the keys that were found; failed holds per-key error text for
+// keys whose read quorum could not be met (keys in neither map simply do not
+// exist). Duplicate keys are collapsed.
+func (c *Client) GetMany(ctx context.Context, keys []string) (found map[string][]byte, failed map[string]string, err error) {
+	found = map[string][]byte{}
+	if len(keys) == 0 {
+		return found, nil, nil
+	}
+	arr := make(bson.A, len(keys))
+	for i, k := range keys {
+		arr[i] = k
+	}
+	resp, err := c.call(ctx, MsgGetMany, bson.D{{Key: "keys", Value: arr}})
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, _ := resp.Get("results")
+	ra, ok := rv.(bson.A)
+	if !ok {
+		return nil, nil, errors.New("cluster: malformed get.many response")
+	}
+	for _, ev := range ra {
+		d, isDoc := ev.(bson.D)
+		if !isDoc {
+			continue
+		}
+		key := d.StringOr("self-key", "")
+		if msg := d.StringOr("err", ""); msg != "" {
+			if failed == nil {
+				failed = map[string]string{}
+			}
+			failed[key] = msg
+			continue
+		}
+		if fv, _ := d.Get("found"); fv != true {
+			continue
+		}
+		v, _ := d.Get("val")
+		b, isBytes := v.([]byte)
+		if !isBytes {
+			return nil, nil, errors.New("cluster: malformed get.many entry")
+		}
+		found[key] = b
+	}
+	return found, failed, nil
+}
+
 // GetDoc fetches and decodes a document stored with PutDoc.
 func (c *Client) GetDoc(ctx context.Context, key string) (bson.D, error) {
 	val, err := c.Get(ctx, key)

@@ -32,6 +32,17 @@ func (n *Node) RegisterMetrics(r *metrics.Registry) {
 	r.Register("mystore_hints_queued", "Hinted-handoff records parked on this node awaiting delivery.", metrics.TypeGauge, "node").
 		Add(addr, func() float64 { return float64(coord.HintCount()) })
 
+	r.Register("mystore_nwr_hedged_reads_total", "Replica reads launched early by the hedge timer or a primary failure.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(coord.Stats().HedgedReads) })
+	r.Register("mystore_nwr_coalesced_reads_total", "Reads served by joining an in-flight fan-out for the same key.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(coord.Stats().CoalescedReads) })
+	r.Register("mystore_nwr_batch_gets_total", "Batched multi-get operations coordinated on this node.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(coord.Stats().BatchGets) })
+	r.Register("mystore_nwr_repair_backlog", "Read-repair jobs queued or in flight on the async repair pool.", metrics.TypeGauge, "node").
+		Add(addr, func() float64 { return float64(coord.RepairBacklog()) })
+	r.Register("mystore_nwr_read_repair_dropped_total", "Read-repair jobs dropped because the repair queue was full.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(coord.Stats().ReadRepairDropped) })
+
 	r.Register("mystore_gossip_live_peers", "Peers this node currently believes are up.", metrics.TypeGauge, "node").
 		Add(addr, func() float64 { return float64(len(gossiper.LiveEndpoints())) })
 

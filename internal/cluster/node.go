@@ -31,6 +31,7 @@ const (
 	MsgVersion    = "node.version"
 	MsgPut        = "node.put"
 	MsgGet        = "node.get"
+	MsgGetMany    = "node.get.many"
 	MsgDelete     = "node.delete"
 	MsgQuery      = "node.query"
 	MsgStatus     = "node.status"
@@ -336,6 +337,8 @@ func (n *Node) handleMessage(ctx context.Context, msg transport.Message) (bson.D
 			return nil, err
 		}
 		return bson.D{{Key: "found", Value: true}, {Key: "val", Value: val}}, nil
+	case MsgGetMany:
+		return n.handleGetMany(ctx, msg.Body)
 	case MsgDelete:
 		key := msg.Body.StringOr("self-key", "")
 		if err := n.coord.Delete(ctx, key); err != nil {
@@ -353,6 +356,46 @@ func (n *Node) handleMessage(ctx context.Context, msg transport.Message) (bson.D
 	default:
 		return nil, fmt.Errorf("cluster: unknown message type %q", msg.Type)
 	}
+}
+
+// handleGetMany serves MsgGetMany: this node coordinates a batched quorum
+// read over every requested key (one MsgGetReplicaBatch RPC per peer). Each
+// result entry carries found/val; a key whose quorum failed carries its
+// error instead, so callers can tell "absent" from "unreadable".
+func (n *Node) handleGetMany(ctx context.Context, body bson.D) (bson.D, error) {
+	kv, _ := body.Get("keys")
+	arr, ok := kv.(bson.A)
+	if !ok {
+		return nil, errors.New("cluster: get.many requires keys")
+	}
+	keys := make([]string, 0, len(arr))
+	for _, v := range arr {
+		if s, isStr := v.(string); isStr {
+			keys = append(keys, s)
+		}
+	}
+	results, err := n.coord.GetMany(ctx, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := make(bson.A, 0, len(results))
+	for _, kr := range results {
+		entry := bson.D{{Key: "self-key", Value: kr.Key}}
+		switch {
+		case kr.Err == nil:
+			entry = append(entry,
+				bson.E{Key: "found", Value: true},
+				bson.E{Key: "val", Value: kr.Res.Val})
+		case errors.Is(kr.Err, nwr.ErrNotFound):
+			entry = append(entry, bson.E{Key: "found", Value: false})
+		default:
+			entry = append(entry,
+				bson.E{Key: "found", Value: false},
+				bson.E{Key: "err", Value: kr.Err.Error()})
+		}
+		out = append(out, entry)
+	}
+	return bson.D{{Key: "results", Value: out}}, nil
 }
 
 // statusDoc summarizes the node for monitoring.
@@ -390,6 +433,7 @@ func (n *Node) Close() error {
 	n.closed = true
 	n.mu.Unlock()
 	terr := n.tr.Close()
+	n.coord.Close()
 	serr := n.store.Close()
 	if terr != nil {
 		return terr

@@ -235,6 +235,46 @@ func (c *Collection) FindOne(filter Filter) (bson.D, bool, error) {
 	return docs[0], true, nil
 }
 
+// FindOneEach returns, for each value, the first document whose field equals
+// that value, keyed by value — the batch counterpart of one FindOne per
+// value, paying a single read-lock acquisition and one index probe per value
+// instead of re-entering the collection N times. Values with no match are
+// simply absent from the result. An unindexed field falls back to per-value
+// FindOne.
+func (c *Collection) FindOneEach(field string, values []string) (map[string]bson.D, error) {
+	c.mu.RLock()
+	ix, indexed := c.indexes[field]
+	if !indexed {
+		c.mu.RUnlock()
+		out := make(map[string]bson.D, len(values))
+		for _, v := range values {
+			doc, found, err := c.FindOne(Filter{{Key: field, Value: v}})
+			if err != nil {
+				return nil, err
+			}
+			if found {
+				out[v] = doc
+			}
+		}
+		return out, nil
+	}
+	out := make(map[string]bson.D, len(values))
+	for _, v := range values {
+		if _, dup := out[v]; dup {
+			continue
+		}
+		for _, idk := range ix.lookupEq(v) {
+			if doc, ok := c.primary.Get([]byte(idk)); ok {
+				out[v] = doc.(bson.D).Clone()
+				break
+			}
+		}
+	}
+	c.mu.RUnlock()
+	c.store.statIndexHit.Add(uint64(len(values)))
+	return out, nil
+}
+
 // Count returns the number of documents matching filter.
 func (c *Collection) Count(filter Filter) (int, error) {
 	if len(filter) == 0 {

@@ -37,11 +37,21 @@ type ChaosResult struct {
 	MaxOvershoot       time.Duration
 	DeadlineViolations int64 // invariant 3 violations
 	BreakersOpened     int64
+
+	// HedgedReads counts reserve replica reads launched by the hedge timer
+	// or primary failures during the soak (informational — chaos makes
+	// hedging fire constantly).
+	HedgedReads int64
+	// ReadQuorumViolations is invariant 4: the read path's tripwire for a
+	// quorum-first or batched read that settled with fewer than R responses.
+	// Hedged reads must never weaken the R contract, so this must stay 0.
+	ReadQuorumViolations int64
 }
 
 // Violations totals the invariant breaches; zero means the soak passed.
 func (r ChaosResult) Violations() int64 {
-	return r.LostWrites + r.ValueViolations + int64(r.HintsAtEnd) + r.DeadlineViolations
+	return r.LostWrites + r.ValueViolations + int64(r.HintsAtEnd) + r.DeadlineViolations +
+		r.ReadQuorumViolations
 }
 
 // String summarizes the run.
@@ -57,6 +67,8 @@ func (r ChaosResult) String() string {
 	fmt.Fprintf(&b, "  invariant 2 — hints left undelivered:         %d\n", r.HintsAtEnd)
 	fmt.Fprintf(&b, "  invariant 3 — deadline overruns > CallTimeout: %d (max overshoot %v)\n",
 		r.DeadlineViolations, r.MaxOvershoot.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  invariant 4 — reads settled below R quorum:    %d (%d reads hedged)\n",
+		r.ReadQuorumViolations, r.HedgedReads)
 	if r.Violations() == 0 {
 		fmt.Fprintf(&b, "  PASS: no acked write was lost\n")
 	} else {
@@ -312,6 +324,9 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 
 	for _, node := range cl.Nodes() {
 		result.BreakersOpened += node.Breakers().Stats().Opened
+		st := node.Coordinator().Stats()
+		result.HedgedReads += st.HedgedReads
+		result.ReadQuorumViolations += st.ReadQuorumViolations
 	}
 	result.Ops = ops
 	result.AckedPuts = ackedPuts

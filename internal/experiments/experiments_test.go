@@ -246,3 +246,44 @@ func TestAblations(t *testing.T) {
 		t.Error("String() malformed")
 	}
 }
+
+func TestReadPathAblation(t *testing.T) {
+	skipShapeUnderRace(t)
+	res, err := RunReadPathAblation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]ReadPathRow{}
+	for _, r := range res.Rows {
+		byCfg[r.Config] = r
+		if r.Errors != 0 {
+			t.Errorf("%s: %d read errors", r.Config, r.Errors)
+		}
+	}
+	full, seed, noHedge := byCfg["full"], byCfg["wait-for-all (seed)"], byCfg["no hedge"]
+	// The acceptance headline: quorum-first + hedging cuts p99 by >=5x
+	// against the seed's wait-for-all read with one slow replica.
+	if full.P99ms <= 0 || seed.P99ms/full.P99ms < 5 {
+		t.Errorf("wait-for-all p99 %.2fms / full p99 %.2fms < 5x", seed.P99ms, full.P99ms)
+	}
+	// Without the hedge the tail collapses back toward the slow replica's
+	// round trip whenever the slow node is the primary.
+	if noHedge.P99ms <= full.P99ms {
+		t.Errorf("no-hedge p99 %.2fms should exceed full p99 %.2fms", noHedge.P99ms, full.P99ms)
+	}
+	if full.HedgedReads == 0 {
+		t.Error("full config never hedged")
+	}
+	// Coalescing bounds hot-key fan-outs to O(generations).
+	hot := res.HotCoalesced
+	if hot.Generations >= hot.Reads/4 {
+		t.Errorf("coalesced hot key ran %d generations for %d reads", hot.Generations, hot.Reads)
+	}
+	if res.HotAblated.Generations != res.HotAblated.Reads {
+		t.Errorf("uncoalesced hot key: %d generations for %d reads, want equal",
+			res.HotAblated.Generations, res.HotAblated.Reads)
+	}
+	if s := res.String(); !strings.Contains(s, "A8") {
+		t.Error("String() malformed")
+	}
+}

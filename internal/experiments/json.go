@@ -67,6 +67,8 @@ func JSONSummary(res any) any {
 		return map[string]any{"write_path": writePathJSON(r.WritePath)}
 	case WritePathAblation:
 		return writePathJSON(r)
+	case ReadPathAblation:
+		return readPathJSON(r)
 	default:
 		return nil
 	}
@@ -128,6 +130,48 @@ func writePathJSON(a WritePathAblation) map[string]any {
 	}
 	if seed > 0 && full > 0 {
 		out["full_over_seed"] = round2(full / seed)
+	}
+	return out
+}
+
+// readPathJSON emits the A8 rows plus the tail-latency headline: the seed
+// wait-for-all p99 over the full read path's p99 with one slow replica (the
+// read-path PR's acceptance check wants ≥5x), and the hot-key coalescing
+// bound (replica fan-out generations per client read).
+func readPathJSON(a ReadPathAblation) map[string]any {
+	rows := make([]map[string]any, 0, len(a.Rows))
+	var fullP99, seedP99 float64
+	for _, row := range a.Rows {
+		rows = append(rows, map[string]any{
+			"config":       row.Config,
+			"reads":        row.Reads,
+			"p50_ms":       round2(row.P50ms),
+			"p95_ms":       round2(row.P95ms),
+			"p99_ms":       round2(row.P99ms),
+			"hedged_reads": row.HedgedReads,
+			"errors":       row.Errors,
+		})
+		switch row.Config {
+		case "full":
+			fullP99 = row.P99ms
+		case "wait-for-all (seed)":
+			seedP99 = row.P99ms
+		}
+	}
+	out := map[string]any{
+		"readers":                 a.Readers,
+		"corpus":                  a.Corpus,
+		"slow_replica_one_way_ms": round2(a.SlowOneWayMs),
+		"rows":                    rows,
+		"hot_key": map[string]any{
+			"reads":                   a.HotCoalesced.Reads,
+			"generations":             a.HotCoalesced.Generations,
+			"coalesced_reads":         a.HotCoalesced.Coalesced,
+			"uncoalesced_generations": a.HotAblated.Generations,
+		},
+	}
+	if fullP99 > 0 && seedP99 > 0 {
+		out["waitforall_over_full_p99"] = round2(seedP99 / fullP99)
 	}
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mystore/internal/bson"
@@ -18,10 +19,11 @@ import (
 
 // Message types the coordinator registers on the node's transport mux.
 const (
-	MsgPutReplica = "nwr.put.replica"
-	MsgGetReplica = "nwr.get.replica"
-	MsgHintStore  = "nwr.hint.store"
-	MsgPing       = "nwr.ping"
+	MsgPutReplica      = "nwr.put.replica"
+	MsgGetReplica      = "nwr.get.replica"
+	MsgGetReplicaBatch = "nwr.get.replica.batch"
+	MsgHintStore       = "nwr.hint.store"
+	MsgPing            = "nwr.ping"
 )
 
 // Config is the paper's (N, W, R) plus operational knobs.
@@ -54,6 +56,26 @@ type Config struct {
 	// answer — flagged Degraded, possibly stale — instead of failing with
 	// ErrQuorumRead. Availability over freshness during partitions.
 	DegradedReads bool
+	// HedgeDelay overrides the adaptive delay before the N−R non-primary
+	// replica reads launch. Zero means adaptive: the recent p95 of this
+	// coordinator's read latency, floored at 1ms and capped at
+	// CallTimeout/2.
+	HedgeDelay time.Duration
+	// DisableHedge keeps the non-primary replica reads parked until the
+	// quorum settles or a primary fails — no hedge timer. Read-path
+	// ablation: isolates what the early launch is worth.
+	DisableHedge bool
+	// DisableCoalesce turns the per-key singleflight read coalescer off, so
+	// every concurrent reader of a hot key runs its own replica fan-out.
+	DisableCoalesce bool
+	// WaitForAllReads restores the seed read path: a read waits for every
+	// replica to answer before resolving, instead of returning at R.
+	WaitForAllReads bool
+	// RepairWorkers and RepairQueue size the async read-repair pool. Zero
+	// means 2 workers over a 256-job queue; jobs arriving on a full queue
+	// are dropped and counted in Stats.ReadRepairDropped.
+	RepairWorkers int
+	RepairQueue   int
 	// Now overrides the clock (deterministic tests). Nil means time.Now.
 	Now func() time.Time
 }
@@ -79,6 +101,12 @@ func (c Config) withDefaults() Config {
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 2 * time.Second
 	}
+	if c.RepairWorkers <= 0 {
+		c.RepairWorkers = 2
+	}
+	if c.RepairQueue <= 0 {
+		c.RepairQueue = 256
+	}
 	if c.Now == nil {
 		c.Now = time.Now
 	}
@@ -92,7 +120,9 @@ var (
 	ErrNotFound    = errors.New("nwr: key not found")
 )
 
-// Stats counts coordinator activity.
+// Stats counts coordinator activity. Gets counts read generations (replica
+// fan-outs); CoalescedReads counts callers served by joining one, so
+// client-visible reads are Gets + CoalescedReads.
 type Stats struct {
 	Puts, PutFailures    int64
 	Gets, GetFailures    int64
@@ -102,6 +132,20 @@ type Stats struct {
 	ReplicaSupplements   int64
 	RetriedReplicaWrites int64
 	DegradedReads        int64
+	// HedgedReads counts non-primary replica reads launched early by the
+	// hedge timer or a primary's failure.
+	HedgedReads int64
+	// CoalescedReads counts reads served by an in-flight fan-out for the
+	// same key instead of their own.
+	CoalescedReads int64
+	// BatchGets counts GetMany operations coordinated here.
+	BatchGets int64
+	// ReadRepairDropped counts repair jobs lost to a full repair queue.
+	ReadRepairDropped int64
+	// ReadQuorumViolations is a defensive tripwire: incremented if the
+	// quorum-first path were ever about to answer OK with fewer than R
+	// responses. The chaos harness asserts it stays zero.
+	ReadQuorumViolations int64
 }
 
 // Coordinator runs the NWR protocol for one node. It is safe for concurrent
@@ -131,6 +175,26 @@ type Coordinator struct {
 	putLatency *metrics.BucketedHistogram
 	getLatency *metrics.BucketedHistogram
 
+	// Per-key singleflight coalescer: one replica fan-out per in-flight
+	// generation per key, no matter how many callers pile on.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	// Async read-repair pool. Workers start lazily on the first enqueue;
+	// the quit channel (not a channel close) stops them so a late enqueue
+	// after Close can never panic.
+	repairQ        chan repairJob
+	repairQuit     chan struct{}
+	repairOnce     sync.Once
+	closeOnce      sync.Once
+	repairWG       sync.WaitGroup
+	pendingRepairs atomic.Int64
+
+	// Cached adaptive hedge delay: recomputing p95 snapshots per read would
+	// put an allocation back on the hot path.
+	hedgeCached atomic.Int64
+	hedgeStamp  atomic.Int64
+
 	// Per-target hint-redelivery backoff: a target that refused its last
 	// writeback is not re-pinged every round.
 	hintMu    sync.Mutex
@@ -153,6 +217,9 @@ func NewCoordinator(cfg Config, self string, rg *ring.Ring, tr transport.Transpo
 		cfg: cfg, self: self, ring: rg, tr: tr, store: store,
 		putLatency: metrics.NewBucketedHistogram(nil),
 		getLatency: metrics.NewBucketedHistogram(nil),
+		flights:    make(map[string]*flight),
+		repairQ:    make(chan repairJob, cfg.RepairQueue),
+		repairQuit: make(chan struct{}),
 	}
 	if err := store.C(RecordCollection).EnsureIndex("self-key", true); err != nil {
 		return nil, err
@@ -418,98 +485,15 @@ type GetResult struct {
 	Degraded bool
 }
 
-// Get reads key with the read quorum: query every replica, demand at least
-// R answers, resolve last-write-wins, then repair stale or missing replicas
-// ("if replications are less than N ... some more replications are
-// supplemented", §5.2.2).
+// Get reads key with the read quorum: dispatch replica reads, return as soon
+// as R replicas answer (quorum-first, resolved last-write-wins), and let the
+// stragglers finish in the background feeding read repair / replica
+// supplementation ("if replications are less than N ... some more
+// replications are supplemented", §5.2.2). The full state machine lives in
+// readpath.go.
 func (c *Coordinator) Get(ctx context.Context, key string) ([]byte, error) {
 	res, err := c.GetEx(ctx, key)
 	return res.Val, err
-}
-
-// GetEx is Get returning provenance. With Config.DegradedReads set, a read
-// that falls short of R but reached at least one replica returns that
-// replica's newest answer flagged Degraded instead of ErrQuorumRead.
-func (c *Coordinator) GetEx(ctx context.Context, key string) (res GetResult, err error) {
-	ctx, sp := trace.Start(ctx, "nwr.read")
-	start := c.cfg.Now()
-	defer func() {
-		c.getLatency.ObserveDuration(c.cfg.Now().Sub(start))
-		sp.End(err)
-	}()
-	targets, err := c.ring.Successors(key, c.cfg.N)
-	if err != nil {
-		return GetResult{}, err
-	}
-	type answer struct {
-		rec   Record
-		found bool
-		ok    bool // replica responded at all
-	}
-	answers := make([]answer, len(targets))
-	var wg sync.WaitGroup
-	for i, target := range targets {
-		wg.Add(1)
-		go func(i int, target string) {
-			defer wg.Done()
-			rctx, rsp := trace.Start(ctx, "nwr.replica.read")
-			rsp.SetPeer(target)
-			rec, found, err := c.readReplica(rctx, target, key)
-			rsp.End(err)
-			answers[i] = answer{rec: rec, found: found, ok: err == nil}
-		}(i, target)
-	}
-	wg.Wait()
-
-	responded := 0
-	var newest Record
-	haveNewest := false
-	for _, a := range answers {
-		if !a.ok {
-			continue
-		}
-		responded++
-		if a.found && (!haveNewest || a.rec.Newer(newest)) {
-			newest = a.rec
-			haveNewest = true
-		}
-	}
-	degraded := false
-	if responded < c.cfg.R {
-		if !c.cfg.DegradedReads || responded == 0 {
-			c.bump(func(s *Stats) { s.GetFailures++ })
-			return GetResult{}, fmt.Errorf("%w: %d/%d replicas answered for key %q", ErrQuorumRead, responded, c.cfg.R, key)
-		}
-		// Degraded read: serve whatever the reachable minority knows,
-		// flagged so callers can tell it may be stale.
-		degraded = true
-		c.bump(func(s *Stats) { s.DegradedReads++ })
-	}
-	c.bump(func(s *Stats) { s.Gets++ })
-
-	if haveNewest {
-		// Read repair / replica supplementation for responders that missed
-		// the newest version.
-		for i, a := range answers {
-			if !a.ok {
-				continue
-			}
-			stale := !a.found || newest.Newer(a.rec)
-			if stale {
-				if c.writeReplica(ctx, targets[i], newest) {
-					if a.found {
-						c.bump(func(s *Stats) { s.ReadRepairs++ })
-					} else {
-						c.bump(func(s *Stats) { s.ReplicaSupplements++ })
-					}
-				}
-			}
-		}
-	}
-	if !haveNewest || newest.Deleted {
-		return GetResult{Degraded: degraded}, fmt.Errorf("%w: %q", ErrNotFound, key)
-	}
-	return GetResult{Val: newest.Val, Degraded: degraded}, nil
 }
 
 // readReplica fetches key's record from target.
@@ -812,6 +796,8 @@ func (c *Coordinator) HandleMessage(ctx context.Context, msg transport.Message) 
 			return bson.D{{Key: "found", Value: false}}, nil
 		}
 		return bson.D{{Key: "found", Value: true}, {Key: "record", Value: rec.ToDoc()}}, nil
+	case MsgGetReplicaBatch:
+		return c.handleGetReplicaBatch(msg.Body)
 	case MsgHintStore:
 		target := msg.Body.StringOr("target", "")
 		recDoc, ok := msg.Body.Get("record")

@@ -37,9 +37,21 @@ type Backend interface {
 	Delete(ctx context.Context, key string) error
 }
 
+// BatchBackend is an optional Backend extension that serves several keys in
+// one backend round trip. POST /batch/get uses it when the backend provides
+// it and falls back to per-key Gets otherwise. found holds the keys that
+// exist; failed maps keys whose read failed (e.g. below quorum) to an error
+// message; keys in neither simply do not exist.
+type BatchBackend interface {
+	GetMany(ctx context.Context, keys []string) (found map[string][]byte, failed map[string]string, err error)
+}
+
 // ErrNotFound must be returned (or wrapped) by Backend.Get for absent keys
 // so the gateway can answer 404.
 var ErrNotFound = errors.New("rest: key not found")
+
+// maxBatchKeys bounds one POST /batch/get request; larger batches get 400.
+const maxBatchKeys = 1024
 
 // Config tunes a Gateway.
 type Config struct {
@@ -183,6 +195,7 @@ func (g *Gateway) Stats() Stats {
 //	GET    /data/{key}   retrieve
 //	POST   /data/{key}   create or update (body = value)
 //	POST   /data/        create with a generated key; returns the key
+//	POST   /batch/get    retrieve many keys in one round (JSON {"keys": [...]})
 //	DELETE /data/{key}   delete
 //	GET    /token?user=u issue a request token (when auth is enabled)
 //	GET    /stats        gateway counters as JSON (unauthenticated)
@@ -191,6 +204,7 @@ func (g *Gateway) Stats() Stats {
 func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/data/", g.handleData)
+	mux.HandleFunc("/batch/get", g.handleBatchGet)
 	mux.HandleFunc("/token", g.handleToken)
 	mux.HandleFunc("/stats", g.handleStats)
 	mux.HandleFunc("/metrics", g.handleMetrics)
@@ -356,6 +370,145 @@ func (g *Gateway) handleData(w http.ResponseWriter, r *http.Request) {
 	case http.MethodDelete:
 		g.handleDelete(w, r, key)
 	}
+}
+
+// batchGetRequest is the POST /batch/get body.
+type batchGetRequest struct {
+	Keys []string `json:"keys"`
+}
+
+// batchGetResponse is the POST /batch/get answer. Results maps found keys to
+// their values (base64 in JSON); Missing lists keys that do not exist;
+// Errors maps keys whose read failed (for example below the read quorum) to
+// an error message, so clients can tell "absent" from "unreadable".
+type batchGetResponse struct {
+	Results map[string][]byte `json:"results"`
+	Missing []string          `json:"missing,omitempty"`
+	Errors  map[string]string `json:"errors,omitempty"`
+}
+
+// handleBatchGet serves POST /batch/get: the cache tier is consulted once
+// for the whole key set, then the entire miss set is fetched from the
+// backend in one batched round (per-key Gets when the backend has no batch
+// support) and written back to the cache.
+func (g *Gateway) handleBatchGet(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	if r.Method != http.MethodPost {
+		g.errs.Add(1)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if g.cfg.Auth != nil {
+		if _, err := g.cfg.Auth.Verify(r.URL.RequestURI()); err != nil {
+			g.errs.Add(1)
+			http.Error(w, err.Error(), http.StatusForbidden)
+			return
+		}
+	}
+	if g.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), g.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	if g.cfg.Trace != nil {
+		r = r.WithContext(trace.WithCollector(r.Context(), g.cfg.Trace))
+	}
+	ctx, sp := trace.Start(r.Context(), "rest.batchget")
+	start := time.Now()
+	defer func() {
+		g.reqLatency.ObserveDuration(time.Since(start))
+		sp.End(nil)
+	}()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
+	if err != nil {
+		g.fail(w, err)
+		return
+	}
+	if int64(len(body)) > g.cfg.MaxBodyBytes {
+		g.errs.Add(1)
+		http.Error(w, "body too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	var req batchGetRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		g.errs.Add(1)
+		http.Error(w, "malformed request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Keys) == 0 || len(req.Keys) > maxBatchKeys {
+		g.errs.Add(1)
+		http.Error(w, fmt.Sprintf("need 1..%d keys", maxBatchKeys), http.StatusBadRequest)
+		return
+	}
+
+	resp := batchGetResponse{Results: map[string][]byte{}}
+	missing := req.Keys
+	if g.cfg.Cache != nil {
+		var hits map[string][]byte
+		hits, missing = g.cfg.Cache.GetMany(req.Keys)
+		g.cacheHits.Add(int64(len(hits)))
+		g.cacheMisses.Add(int64(len(missing)))
+		for k, v := range hits {
+			resp.Results[k] = v
+		}
+	}
+	if len(missing) > 0 {
+		var fetched map[string][]byte
+		var failed map[string]string
+		err := g.pool.Do(ctx, func(ctx context.Context) error {
+			var derr error
+			fetched, failed, derr = g.backendGetMany(ctx, missing)
+			return derr
+		})
+		if err != nil {
+			g.fail(w, err)
+			return
+		}
+		for k, v := range fetched {
+			resp.Results[k] = v
+			if g.cfg.Cache != nil {
+				g.cfg.Cache.Set(k, v)
+			}
+		}
+		resp.Errors = failed
+		for _, k := range missing {
+			if _, ok := fetched[k]; ok {
+				continue
+			}
+			if _, ok := failed[k]; ok {
+				continue
+			}
+			resp.Missing = append(resp.Missing, k)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck
+}
+
+// backendGetMany fetches the miss set: one batched call when the backend
+// implements BatchBackend, else a per-key fallback loop.
+func (g *Gateway) backendGetMany(ctx context.Context, keys []string) (map[string][]byte, map[string]string, error) {
+	if bb, ok := g.backend.(BatchBackend); ok {
+		return bb.GetMany(ctx, keys)
+	}
+	found := make(map[string][]byte, len(keys))
+	var failed map[string]string
+	for _, k := range keys {
+		val, err := g.backend.Get(ctx, k)
+		switch {
+		case err == nil:
+			found[k] = val
+		case errors.Is(err, ErrNotFound):
+			// Simply absent.
+		default:
+			if failed == nil {
+				failed = map[string]string{}
+			}
+			failed[k] = err.Error()
+		}
+	}
+	return found, failed, nil
 }
 
 func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request, key string) {

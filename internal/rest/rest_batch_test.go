@@ -1,0 +1,110 @@
+package rest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mystore/internal/cache"
+)
+
+// batchMapBackend adds a native GetMany to mapBackend so tests cover the
+// BatchBackend fast path as well as the per-key fallback.
+type batchMapBackend struct {
+	*mapBackend
+	batchCalls int
+}
+
+func (b *batchMapBackend) GetMany(_ context.Context, keys []string) (map[string][]byte, map[string]string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.batchCalls++
+	found := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := b.data[k]; ok {
+			found[k] = append([]byte(nil), v...)
+		}
+	}
+	return found, nil, nil
+}
+
+func postBatchGet(t *testing.T, url string, keys []string) (int, batchGetResponse) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"keys": keys})
+	resp, err := http.Post(url+"/batch/get", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out batchGetResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func TestBatchGetFallback(t *testing.T) {
+	// mapBackend has no GetMany: the gateway falls back to per-key reads.
+	_, backend, srv := newTestGateway(t, Config{})
+	backend.Put(context.Background(), "a", []byte("va")) //nolint:errcheck
+	backend.Put(context.Background(), "b", []byte("vb")) //nolint:errcheck
+
+	code, out := postBatchGet(t, srv.URL, []string{"a", "b", "ghost"})
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if string(out.Results["a"]) != "va" || string(out.Results["b"]) != "vb" {
+		t.Fatalf("results = %v", out.Results)
+	}
+	if len(out.Missing) != 1 || out.Missing[0] != "ghost" {
+		t.Fatalf("missing = %v", out.Missing)
+	}
+}
+
+func TestBatchGetBatchBackendAndCacheFill(t *testing.T) {
+	backend := &batchMapBackend{mapBackend: newMapBackend()}
+	tier := cache.NewTier(2, 1<<20)
+	gw := NewGateway(backend, Config{Cache: tier})
+	ts := httptest.NewServer(gw.Handler())
+	t.Cleanup(func() { ts.Close(); gw.Close() })
+	srv := ts.URL
+	backend.Put(context.Background(), "a", []byte("va")) //nolint:errcheck
+	backend.Put(context.Background(), "b", []byte("vb")) //nolint:errcheck
+
+	code, out := postBatchGet(t, srv, []string{"a", "b"})
+	if code != http.StatusOK || len(out.Results) != 2 {
+		t.Fatalf("status = %d, results = %v", code, out.Results)
+	}
+	if backend.batchCalls != 1 {
+		t.Fatalf("batchCalls = %d, want 1 (one RPC for the whole miss set)", backend.batchCalls)
+	}
+	// The first round filled the cache: a repeat batch hits it entirely and
+	// never reaches the backend.
+	code, out = postBatchGet(t, srv, []string{"a", "b"})
+	if code != http.StatusOK || len(out.Results) != 2 {
+		t.Fatalf("repeat status = %d, results = %v", code, out.Results)
+	}
+	if backend.batchCalls != 1 {
+		t.Fatalf("batchCalls = %d after cached repeat, want 1", backend.batchCalls)
+	}
+}
+
+func TestBatchGetValidation(t *testing.T) {
+	_, _, srv := newTestGateway(t, Config{})
+	if code, _ := postBatchGet(t, srv.URL, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty keys: status = %d, want 400", code)
+	}
+	resp, err := http.Get(srv.URL + "/batch/get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status = %d, want 405", resp.StatusCode)
+	}
+}

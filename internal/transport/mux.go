@@ -36,6 +36,38 @@ const (
 	muxHeaderSize = 4 + 8
 )
 
+// framePool recycles frame build buffers on the RPC hot path so that every
+// call does not allocate a fresh header+payload slice. Buffers are pooled as
+// *[]byte (the slice header itself would escape if pooled by value) and grow
+// to fit the largest frames they carry.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+var muxZeroHeader [muxHeaderSize]byte
+
+// appendMuxFrame appends one complete mux frame (header + BSON payload) for
+// doc to buf and returns the extended slice. The payload is encoded directly
+// into the buffer via bson.AppendTo — no intermediate []byte — and the
+// header is patched in afterwards, once the payload length is known. With a
+// large enough buf the append is allocation-free, which the transport's
+// AllocsPerRun test pins.
+func appendMuxFrame(buf []byte, rid uint64, doc bson.D) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, muxZeroHeader[:]...)
+	out, err := bson.AppendTo(buf, doc)
+	if err != nil {
+		return buf[:start], err
+	}
+	payload := len(out) - start - muxHeaderSize
+	binary.BigEndian.PutUint32(out[start:start+4], uint32(payload))
+	binary.BigEndian.PutUint64(out[start+4:start+12], rid)
+	return out, nil
+}
+
 type muxResult struct {
 	payload []byte
 	err     error
@@ -103,8 +135,9 @@ func (mc *muxConn) readLoop() {
 	}
 }
 
-// call sends one request payload and waits for its response or the deadline.
-func (mc *muxConn) call(ctx context.Context, deadline time.Time, enc []byte) ([]byte, error) {
+// call encodes req into a pooled frame buffer, sends it, and waits for its
+// response or the deadline.
+func (mc *muxConn) call(ctx context.Context, deadline time.Time, req bson.D) ([]byte, error) {
 	mc.mu.Lock()
 	if mc.err != nil {
 		err := mc.err
@@ -117,14 +150,19 @@ func (mc *muxConn) call(ctx context.Context, deadline time.Time, enc []byte) ([]
 	mc.pending[rid] = ch
 	mc.mu.Unlock()
 
-	frame := make([]byte, muxHeaderSize+len(enc))
-	binary.BigEndian.PutUint32(frame[0:4], uint32(len(enc)))
-	binary.BigEndian.PutUint64(frame[4:12], rid)
-	copy(frame[muxHeaderSize:], enc)
+	bufp := framePool.Get().(*[]byte)
+	frame, err := appendMuxFrame((*bufp)[:0], rid, req)
+	if err != nil {
+		framePool.Put(bufp)
+		mc.unregister(rid)
+		return nil, err
+	}
 	mc.wmu.Lock()
 	mc.conn.SetWriteDeadline(deadline) //nolint:errcheck
-	_, err := mc.conn.Write(frame)
+	_, err = mc.conn.Write(frame)
 	mc.wmu.Unlock()
+	*bufp = frame[:0]
+	framePool.Put(bufp)
 	if err != nil {
 		mc.unregister(rid)
 		// A partial write desynchronizes the stream for every user of the
@@ -223,10 +261,6 @@ func (t *TCPTransport) dropMux(to string, mc *muxConn) {
 }
 
 func (t *TCPTransport) callMux(ctx context.Context, to string, msg Message, deadline time.Time) (bson.D, error) {
-	enc, err := bson.Marshal(requestDoc(ctx, t.addr, msg, deadline))
-	if err != nil {
-		return nil, err
-	}
 	mc, err := t.getMux(to)
 	if err != nil {
 		if errors.Is(err, ErrClosed) {
@@ -234,7 +268,7 @@ func (t *TCPTransport) callMux(ctx context.Context, to string, msg Message, dead
 		}
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrUnreachable, to, err)
 	}
-	payload, err := mc.call(ctx, deadline, enc)
+	payload, err := mc.call(ctx, deadline, requestDoc(ctx, t.addr, msg, deadline))
 	if err != nil {
 		if !errors.Is(err, ErrTimeout) {
 			t.dropMux(to, mc)
@@ -280,17 +314,17 @@ func (t *TCPTransport) serveMux(conn net.Conn) {
 		go func(rid uint64, payload []byte) {
 			defer wg.Done()
 			resp := t.handleRequest(payload)
-			enc, err := bson.Marshal(resp)
+			bufp := framePool.Get().(*[]byte)
+			frame, err := appendMuxFrame((*bufp)[:0], rid, resp)
 			if err != nil {
+				framePool.Put(bufp)
 				return
 			}
-			frame := make([]byte, muxHeaderSize+len(enc))
-			binary.BigEndian.PutUint32(frame[0:4], uint32(len(enc)))
-			binary.BigEndian.PutUint64(frame[4:12], rid)
-			copy(frame[muxHeaderSize:], enc)
 			wmu.Lock()
 			conn.Write(frame) //nolint:errcheck // conn torn down by reader
 			wmu.Unlock()
+			*bufp = frame[:0]
+			framePool.Put(bufp)
 		}(rid, payload)
 	}
 }

@@ -347,16 +347,17 @@ func requestDoc(ctx context.Context, from string, msg Message, deadline time.Tim
 }
 
 func writeFrame(w io.Writer, doc bson.D) error {
-	enc, err := bson.Marshal(doc)
+	bufp := framePool.Get().(*[]byte)
+	buf := append((*bufp)[:0], 0, 0, 0, 0)
+	out, err := bson.AppendTo(buf, doc)
 	if err != nil {
+		framePool.Put(bufp)
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(enc)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(enc)
+	binary.BigEndian.PutUint32(out[:4], uint32(len(out)-4))
+	_, err = w.Write(out)
+	*bufp = out[:0]
+	framePool.Put(bufp)
 	return err
 }
 

@@ -138,6 +138,19 @@ type ClusterOptions struct {
 	// DisableBreakers leaves the per-peer circuit breakers unwired
 	// (resilience ablation).
 	DisableBreakers bool
+	// DisableReadHedge keeps the N−R non-primary replica reads parked until
+	// the quorum settles or a primary fails — no hedge timer (read-path
+	// ablation).
+	DisableReadHedge bool
+	// DisableReadCoalesce turns the per-key singleflight read coalescer off
+	// (read-path ablation).
+	DisableReadCoalesce bool
+	// WaitForAllReads restores the seed read path: every read waits for all
+	// N replicas before answering (read-path ablation baseline).
+	WaitForAllReads bool
+	// ReadHedgeDelay overrides the adaptive hedge delay (default: the
+	// coordinator's recent p95 read latency, floor 1ms).
+	ReadHedgeDelay time.Duration
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -236,9 +249,13 @@ func (c *Cluster) nodeConfig(i int) cluster.Config {
 		Weight: weight,
 		NWR: nwr.Config{
 			N: c.opts.N, W: c.opts.W, R: c.opts.R,
-			DisableHints:  c.opts.DisableHints,
-			DegradedReads: c.opts.DegradedReads,
-			CallTimeout:   c.opts.ReplicaCallTimeout,
+			DisableHints:    c.opts.DisableHints,
+			DegradedReads:   c.opts.DegradedReads,
+			CallTimeout:     c.opts.ReplicaCallTimeout,
+			DisableHedge:    c.opts.DisableReadHedge,
+			DisableCoalesce: c.opts.DisableReadCoalesce,
+			WaitForAllReads: c.opts.WaitForAllReads,
+			HedgeDelay:      c.opts.ReadHedgeDelay,
 		},
 		DisableBreakers: c.opts.DisableBreakers,
 		StoreDir: dir,
