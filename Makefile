@@ -1,4 +1,4 @@
-.PHONY: verify test bench bench-read chaos obs-smoke
+.PHONY: verify test bench bench-read bench-repair chaos obs-smoke
 
 verify:
 	./verify.sh
@@ -14,6 +14,13 @@ bench:
 # records its rows under "read_path" in BENCH_results.json.
 bench-read:
 	go run ./cmd/mystore-bench -quick -seed 42 -json BENCH_results.json read_path
+
+# bench-repair runs the A9 repair ablation (Merkle anti-entropy + streamed
+# transfer vs the seed's flat digests + item-at-a-time movement, one diskless
+# crash on a loaded cluster) at a fixed seed and records its rows under
+# "repair" in BENCH_results.json.
+bench-repair:
+	go run ./cmd/mystore-bench -quick -seed 42 -json BENCH_results.json repair
 
 # chaos runs the resilience gate: randomized fault schedules, crash-restarts
 # with WAL recovery, and partitions; exits non-zero on any lost acked write,

@@ -2,32 +2,205 @@ package cluster
 
 import (
 	"context"
-	"math/rand"
+	"sort"
+	"sync"
 
 	"mystore/internal/bson"
-	"mystore/internal/docstore"
+	"mystore/internal/merkle"
 	"mystore/internal/nwr"
+	"mystore/internal/ring"
+	"mystore/internal/trace"
 	"mystore/internal/transport"
 )
 
 // Active anti-entropy: the paper's future-work direction of "solving
 // problems on data's consistency" (§7). Read repair only fixes replicas of
-// keys that are actually read; anti-entropy sweeps the rest. Each round a
-// node picks a random live peer, sends version digests of the local
-// records whose replica sets include both nodes, and the pair reconciles:
-// the peer pushes back its newer versions and asks for the ones it is
-// missing or holds stale.
+// keys that are actually read; anti-entropy sweeps the rest.
+//
+// The default path compares incrementally maintained Merkle trees (Dynamo
+// §4.7): each node keeps, per peer, a hash tree over the records whose
+// replica sets include both nodes, updated O(1) on every docstore apply.
+// A round walks the two trees top-down — O(log leaves) hashes per level —
+// so a converged pair settles after ONE root comparison, and a diverged
+// pair localizes the damage to individual leaf ranges whose keys are then
+// reconciled bidirectionally and moved in streamed batches. The flat
+// digest exchange (every shared record digested per round) survives behind
+// Config.DisableMerkleAE as the ablation baseline.
 
-// MsgAntiEntropy carries one digest batch.
-const MsgAntiEntropy = "node.ae.digest"
+// Message types of the anti-entropy protocol.
+const (
+	// MsgAntiEntropy carries one flat digest batch (baseline path).
+	MsgAntiEntropy = "node.ae.digest"
+	// MsgAEChildren asks a peer for its tree-node hashes at one level
+	// (the Merkle descent step).
+	MsgAEChildren = "node.ae.children"
+	// MsgAELeaf asks a peer for the record digests inside divergent leaves.
+	MsgAELeaf = "node.ae.leaf"
+)
 
-// aeBatchLimit bounds keys per round so a round stays cheap under load.
-const aeBatchLimit = 512
+const (
+	// aeBatchLimit bounds keys per flat round so a round stays cheap under
+	// load (baseline path only).
+	aeBatchLimit = 512
+	// maxAEFrontier bounds tree indexes per descent RPC; a wider divergence
+	// frontier is truncated and picked up again next round.
+	maxAEFrontier = 256
+	// maxAELeavesPerRound bounds how many divergent leaves one round
+	// reconciles; massive divergence (a wiped node) heals across rounds.
+	maxAELeavesPerRound = 64
+	// maxFetchKeysPerCall bounds keys named in one stream.fetch pull.
+	maxFetchKeysPerCall = 2048
+)
 
-// AntiEntropyRound reconciles a batch of shared keys with one random live
-// peer. It returns how many records were pushed to the peer and how many
-// newer records were pulled from it.
-func (n *Node) AntiEntropyRound(ctx context.Context) (pushed, pulled int) {
+// aeState is the node's Merkle forest: one tree per peer, covering exactly
+// the records whose replica sets include both this node and that peer (a
+// whole-store tree would never match between peers, since each stores only
+// the keys it owns). The forest is maintained incrementally by the docstore
+// apply observer and rebuilt lazily — first use after a restart or a ring
+// change scans the records collection once.
+type aeState struct {
+	mu    sync.Mutex
+	trees map[string]*merkle.Tree
+	built bool
+	dirty bool
+}
+
+// markDirty schedules a rebuild (ring changed: ownership moved between
+// trees).
+func (s *aeState) markDirty() {
+	s.mu.Lock()
+	s.dirty = true
+	s.mu.Unlock()
+}
+
+// treeFor returns the tree tracking peer, creating an empty one on demand —
+// holding no shared keys is itself comparable state (the peer may hold keys
+// this node lacks).
+func (s *aeState) treeFor(peer string) *merkle.Tree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.trees[peer]
+	if t == nil {
+		t = merkle.New(merkle.DefaultLeafBits)
+		if s.trees == nil {
+			s.trees = map[string]*merkle.Tree{}
+		}
+		s.trees[peer] = t
+	}
+	return t
+}
+
+// observeRecordApply is the docstore apply observer: it runs under the
+// records collection's write lock on every applied mutation and folds the
+// change into each affected peer tree — the O(1) incremental maintenance
+// that makes a steady-state round cost one root comparison. It also trips
+// the version-regression counter the chaos harness asserts on: no repair
+// path may ever replace a record with an older version.
+func (n *Node) observeRecordApply(old, new bson.D) {
+	var oldRec, newRec nwr.Record
+	var hasOld, hasNew bool
+	if old != nil {
+		if r, err := nwr.RecordFromDoc(old); err == nil {
+			oldRec, hasOld = r, true
+		}
+	}
+	if new != nil {
+		if r, err := nwr.RecordFromDoc(new); err == nil {
+			newRec, hasNew = r, true
+		}
+	}
+	if hasOld && hasNew && oldRec.Newer(newRec) {
+		n.aeRegressions.Add(1)
+	}
+	n.ae.mu.Lock()
+	defer n.ae.mu.Unlock()
+	if !n.ae.built {
+		return // the lazy rebuild will see this record
+	}
+	self := n.Addr()
+	apply := func(rec nwr.Record, add bool) {
+		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
+		if err != nil {
+			return
+		}
+		kh := ring.Hash(rec.Key)
+		h := merkle.RecordHash(rec.Key, rec.Ver, rec.Origin, rec.Deleted)
+		for _, o := range owners {
+			if o == self {
+				continue
+			}
+			t := n.ae.trees[o]
+			if t == nil {
+				t = merkle.New(merkle.DefaultLeafBits)
+				if n.ae.trees == nil {
+					n.ae.trees = map[string]*merkle.Tree{}
+				}
+				n.ae.trees[o] = t
+			}
+			if add {
+				t.Add(kh, h)
+			} else {
+				t.Remove(kh, h)
+			}
+		}
+	}
+	if hasOld {
+		apply(oldRec, false)
+	}
+	if hasNew {
+		apply(newRec, true)
+	}
+}
+
+// ensureForest rebuilds the Merkle forest if it is missing or stale. The
+// scan runs under the collection read lock with the live-update window
+// opened at the exact snapshot point (EachSynced's begin hook), so every
+// concurrent apply is counted exactly once: either the scan sees it or the
+// observer does, never both.
+func (n *Node) ensureForest() {
+	n.ae.mu.Lock()
+	fresh := n.ae.built && !n.ae.dirty
+	n.ae.mu.Unlock()
+	if fresh {
+		return
+	}
+	trees := map[string]*merkle.Tree{}
+	self := n.Addr()
+	n.store.C(nwr.RecordCollection).EachSynced(func() {
+		n.ae.mu.Lock()
+		n.ae.trees = trees
+		n.ae.built = true
+		n.ae.dirty = false
+		n.ae.mu.Unlock()
+	}, func(doc bson.D) bool {
+		rec, err := nwr.RecordFromDoc(doc)
+		if err != nil {
+			return true
+		}
+		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
+		if err != nil {
+			return true
+		}
+		kh := ring.Hash(rec.Key)
+		h := merkle.RecordHash(rec.Key, rec.Ver, rec.Origin, rec.Deleted)
+		for _, o := range owners {
+			if o == self {
+				continue
+			}
+			t := trees[o]
+			if t == nil {
+				t = merkle.New(merkle.DefaultLeafBits)
+				trees[o] = t
+			}
+			t.Add(kh, h)
+		}
+		return true
+	})
+}
+
+// pickAEPeer selects this round's partner with the node's seeded RNG over
+// the sorted live peers, so -seed runs reconcile in a reproducible order.
+func (n *Node) pickAEPeer() string {
 	peers := n.gossiper.LiveEndpoints()
 	candidates := peers[:0]
 	for _, p := range peers {
@@ -36,52 +209,406 @@ func (n *Node) AntiEntropyRound(ctx context.Context) (pushed, pulled int) {
 		}
 	}
 	if len(candidates) == 0 {
-		return 0, 0
+		return ""
 	}
-	peer := candidates[rand.Intn(len(candidates))]
+	sort.Strings(candidates)
+	n.mu.Lock()
+	pick := candidates[n.rng.Intn(len(candidates))]
+	n.mu.Unlock()
+	return pick
+}
 
-	// Digest the local records the peer also owns.
-	docs, err := n.store.C(nwr.RecordCollection).Find(docstore.Filter{}, docstore.FindOptions{})
-	if err != nil {
+// AntiEntropyRound reconciles with one random live peer. It returns how
+// many records were pushed to the peer and how many newer records were
+// pulled from it.
+func (n *Node) AntiEntropyRound(ctx context.Context) (pushed, pulled int) {
+	peer := n.pickAEPeer()
+	if peer == "" {
 		return 0, 0
 	}
-	type digestEntry struct {
+	if n.cfg.DisableMerkleAE {
+		n.aeFallbackRounds.Add(1)
+		return n.flatAntiEntropyRound(ctx, peer)
+	}
+	return n.merkleAntiEntropyRound(ctx, peer)
+}
+
+// merkleAntiEntropyRound walks this node's tree for peer against peer's
+// tree for this node: one hashes-per-level exchange localizes divergence to
+// leaf ranges, then a single leaf-digest exchange reconciles those ranges
+// bidirectionally, pulling newer records and streaming ours back.
+func (n *Node) merkleAntiEntropyRound(ctx context.Context, peer string) (pushed, pulled int) {
+	ctx, sp := trace.Start(ctx, "ae.round")
+	sp.SetPeer(peer)
+	var roundErr error
+	defer func() { sp.End(roundErr) }()
+	n.aeRounds.Add(1)
+	n.ensureForest()
+	tree := n.ae.treeFor(peer)
+
+	// Descend: compare the root, then only the children of divergent nodes,
+	// level by level. A converged pair costs exactly the first exchange.
+	frontier := []uint32{0}
+	var divergedLeaves []uint32
+	for level := 0; level <= tree.LeafBits(); level++ {
+		if len(frontier) == 0 {
+			return 0, 0 // trees agree
+		}
+		if len(frontier) > maxAEFrontier {
+			frontier = frontier[:maxAEFrontier] // rest heals next round
+		}
+		remote, err := n.fetchPeerNodes(ctx, peer, level, frontier)
+		if err != nil {
+			roundErr = err
+			return 0, 0
+		}
+		local := tree.Nodes(level, frontier)
+		var diverged []uint32
+		for i := range frontier {
+			if i < len(remote) && remote[i] != local[i] {
+				diverged = append(diverged, frontier[i])
+			}
+		}
+		if level == tree.LeafBits() {
+			divergedLeaves = diverged
+			break
+		}
+		frontier = frontier[:0]
+		for _, idx := range diverged {
+			frontier = append(frontier, 2*idx, 2*idx+1)
+		}
+	}
+	if len(divergedLeaves) == 0 {
+		return 0, 0
+	}
+	if len(divergedLeaves) > maxAELeavesPerRound {
+		divergedLeaves = divergedLeaves[:maxAELeavesPerRound]
+	}
+	n.aeLeavesDiverged.Add(int64(len(divergedLeaves)))
+	return n.syncLeaves(ctx, peer, tree, divergedLeaves, &roundErr)
+}
+
+// fetchPeerNodes asks peer for its tree-node hashes at (level, idxs) in its
+// tree covering this node.
+func (n *Node) fetchPeerNodes(ctx context.Context, peer string, level int, idxs []uint32) ([]uint64, error) {
+	req := make(bson.A, len(idxs))
+	for i, idx := range idxs {
+		req[i] = int64(idx)
+	}
+	n.aeDigestBytes.Add(int64(12*len(idxs)) + 16)
+	resp, err := n.coord.CallPeer(ctx, peer, MsgAEChildren, bson.D{
+		{Key: "from", Value: n.Addr()},
+		{Key: "level", Value: int64(level)},
+		{Key: "idxs", Value: req},
+	})
+	if err != nil {
+		return nil, err
+	}
+	v, _ := resp.Get("hashes")
+	arr, ok := v.(bson.A)
+	if !ok {
+		return nil, nil
+	}
+	out := make([]uint64, len(arr))
+	for i, e := range arr {
+		if h, isInt := e.(int64); isInt {
+			out[i] = uint64(h)
+		}
+	}
+	return out, nil
+}
+
+// handleAEChildren serves the descent: return this node's tree-for-caller
+// hashes at the requested level and indexes.
+func (n *Node) handleAEChildren(body bson.D) (bson.D, error) {
+	from := body.StringOr("from", "")
+	levelV, _ := body.Get("level")
+	level, _ := levelV.(int64)
+	v, _ := body.Get("idxs")
+	arr, _ := v.(bson.A)
+	idxs := make([]uint32, 0, len(arr))
+	for _, e := range arr {
+		if i, isInt := e.(int64); isInt && i >= 0 {
+			idxs = append(idxs, uint32(i))
+		}
+	}
+	n.ensureForest()
+	hashes := n.ae.treeFor(from).Nodes(int(level), idxs)
+	out := make(bson.A, len(hashes))
+	for i, h := range hashes {
+		out[i] = int64(h)
+	}
+	return bson.D{{Key: "hashes", Value: out}}, nil
+}
+
+// syncLeaves reconciles the divergent leaf ranges: one RPC fetches the
+// peer's record digests inside them, a local scan gathers ours, and the
+// diff drives pulls (peer newer or only-peer) and streamed pushes (we newer
+// or only-us).
+func (n *Node) syncLeaves(ctx context.Context, peer string, tree *merkle.Tree, leaves []uint32, roundErr *error) (pushed, pulled int) {
+	leafSet := make(map[uint32]bool, len(leaves))
+	req := make(bson.A, len(leaves))
+	for i, l := range leaves {
+		leafSet[l] = true
+		req[i] = int64(l)
+	}
+	resp, err := n.coord.CallPeer(ctx, peer, MsgAELeaf, bson.D{
+		{Key: "from", Value: n.Addr()},
+		{Key: "leaves", Value: req},
+	})
+	if err != nil {
+		*roundErr = err
+		return 0, 0
+	}
+
+	// Our shared records inside the divergent leaves. This scan is O(keys)
+	// but only runs when divergence exists — converged rounds stop at the
+	// root comparison.
+	local := n.sharedRecordsInLeaves(peer, tree, leafSet)
+
+	type remoteDigest struct {
 		rec nwr.Record
 	}
-	var entries []digestEntry
-	for _, doc := range docs {
+	remote := map[string]remoteDigest{}
+	if v, ok := resp.Get("digests"); ok {
+		if arr, isArr := v.(bson.A); isArr {
+			for _, e := range arr {
+				d, isDoc := e.(bson.D)
+				if !isDoc {
+					continue
+				}
+				key := d.StringOr("key", "")
+				if key == "" {
+					continue
+				}
+				verV, _ := d.Get("ver")
+				ver, _ := verV.(int64)
+				n.aeDigestBytes.Add(int64(len(key)) + 24)
+				remote[key] = remoteDigest{rec: nwr.Record{Key: key, Ver: ver, Origin: d.StringOr("origin", "")}}
+			}
+		}
+	}
+
+	var wantKeys []string   // pull from peer: they have it newer or we lack it
+	var pushRecs []nwr.Record // push to peer: we have it newer or they lack it
+	for key, rd := range remote {
+		lrec, have := local[key]
+		switch {
+		case !have:
+			wantKeys = append(wantKeys, key)
+		case rd.rec.Newer(lrec):
+			wantKeys = append(wantKeys, key)
+		case lrec.Newer(rd.rec):
+			pushRecs = append(pushRecs, lrec)
+		}
+	}
+	for key, lrec := range local {
+		if _, listed := remote[key]; !listed {
+			pushRecs = append(pushRecs, lrec)
+		}
+	}
+	sort.Strings(wantKeys)
+	sort.Slice(pushRecs, func(i, j int) bool { return pushRecs[i].Key < pushRecs[j].Key })
+
+	pulled = n.pullRecords(ctx, peer, wantKeys)
+	pushed = n.pushRecords(ctx, peer, pushRecs)
+	return pushed, pulled
+}
+
+// sharedRecordsInLeaves gathers this node's records that live in the given
+// leaf ranges and are co-owned by peer, in one read-locked pass.
+func (n *Node) sharedRecordsInLeaves(peer string, tree *merkle.Tree, leafSet map[uint32]bool) map[string]nwr.Record {
+	out := map[string]nwr.Record{}
+	n.store.C(nwr.RecordCollection).Each(func(doc bson.D) bool {
 		rec, err := nwr.RecordFromDoc(doc)
 		if err != nil {
-			continue
+			return true
+		}
+		if !leafSet[tree.Leaf(ring.Hash(rec.Key))] {
+			return true
 		}
 		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
 		if err != nil {
-			continue
+			return true
 		}
-		peerOwns := false
 		for _, o := range owners {
 			if o == peer {
-				peerOwns = true
+				out[rec.Key] = rec
 				break
 			}
 		}
-		if peerOwns {
-			entries = append(entries, digestEntry{rec: rec})
-			if len(entries) >= aeBatchLimit {
-				break
-			}
+		return true
+	})
+	return out
+}
+
+// handleAELeaf serves the leaf sync: return digests of this node's records
+// inside the named leaves that are co-owned by the caller.
+func (n *Node) handleAELeaf(body bson.D) (bson.D, error) {
+	from := body.StringOr("from", "")
+	v, _ := body.Get("leaves")
+	arr, _ := v.(bson.A)
+	leafSet := make(map[uint32]bool, len(arr))
+	for _, e := range arr {
+		if i, isInt := e.(int64); isInt && i >= 0 {
+			leafSet[uint32(i)] = true
 		}
 	}
+	n.ensureForest()
+	tree := n.ae.treeFor(from)
+	recs := n.sharedRecordsInLeaves(from, tree, leafSet)
+	digests := make(bson.A, 0, len(recs))
+	for _, rec := range recs {
+		digests = append(digests, bson.D{
+			{Key: "key", Value: rec.Key},
+			{Key: "ver", Value: rec.Ver},
+			{Key: "origin", Value: rec.Origin},
+		})
+	}
+	return bson.D{{Key: "digests", Value: digests}}, nil
+}
+
+// pullRecords fetches keys' records from peer — paged stream.fetch calls
+// bounded by the batch byte budget — and merges them last-write-wins.
+// DisableStreamTransfer degrades to one read RPC per key (baseline).
+func (n *Node) pullRecords(ctx context.Context, peer string, keys []string) (pulled int) {
+	if len(keys) == 0 {
+		return 0
+	}
+	if n.cfg.DisableStreamTransfer {
+		for _, k := range keys {
+			rec, found, err := n.coord.ReadReplicaFrom(ctx, peer, k)
+			if err != nil || !found {
+				continue
+			}
+			if n.coord.ApplyLocalCtx(ctx, rec) == nil {
+				pulled++
+			}
+		}
+		return pulled
+	}
+	budget := int64(n.cfg.StreamBatchBytes)
+	if budget <= 0 {
+		budget = defaultStreamBatchBytes
+	}
+	remaining := keys
+	for len(remaining) > 0 {
+		page := remaining
+		if len(page) > maxFetchKeysPerCall {
+			page = page[:maxFetchKeysPerCall]
+		}
+		req := make(bson.A, len(page))
+		for i, k := range page {
+			req[i] = k
+		}
+		resp, err := n.coord.CallPeer(ctx, peer, MsgStreamFetch, bson.D{
+			{Key: "keys", Value: req},
+			{Key: "budget", Value: budget},
+		})
+		if err != nil {
+			return pulled
+		}
+		batchBytes := 0
+		batchRecords := 0
+		if v, ok := resp.Get("records"); ok {
+			if arr, isArr := v.(bson.A); isArr {
+				for _, e := range arr {
+					d, isDoc := e.(bson.D)
+					if !isDoc {
+						continue
+					}
+					rec, err := nwr.RecordFromDoc(d)
+					if err != nil {
+						continue
+					}
+					batchBytes += recordWireSize(rec)
+					batchRecords++
+					if n.coord.ApplyLocalCtx(ctx, rec) == nil {
+						pulled++
+					}
+				}
+			}
+		}
+		if batchRecords > 0 {
+			n.streamBatches.Add(1)
+			n.streamRecords.Add(int64(batchRecords))
+			n.streamBytes.Add(int64(batchBytes))
+			n.throttleWait(ctx, batchBytes)
+		}
+		consumed := int64(0)
+		if cv, ok := resp.Get("consumed"); ok {
+			consumed, _ = cv.(int64)
+		}
+		if consumed <= 0 {
+			return pulled // peer made no progress; give up this round
+		}
+		if consumed > int64(len(remaining)) {
+			consumed = int64(len(remaining))
+		}
+		remaining = remaining[consumed:]
+	}
+	return pulled
+}
+
+// pushRecords ships recs to peer in streamed batches (or one write RPC per
+// record under DisableStreamTransfer).
+func (n *Node) pushRecords(ctx context.Context, peer string, recs []nwr.Record) (pushed int) {
+	if len(recs) == 0 {
+		return 0
+	}
+	if n.cfg.DisableStreamTransfer {
+		for _, rec := range recs {
+			if n.coord.WriteReplicaTo(ctx, peer, rec) {
+				pushed++
+			}
+		}
+		return pushed
+	}
+	ss := n.newStreamSender(peer)
+	for _, rec := range recs {
+		ss.Add(ctx, rec)
+	}
+	ss.Flush(ctx)
+	return ss.Sent()
+}
+
+// --- flat baseline (Config.DisableMerkleAE) ---
+
+// flatAntiEntropyRound is the pre-Merkle protocol: digest up to
+// aeBatchLimit shared records, ship the digests, apply the peer's newer
+// versions and push what it asked for. Kept as the A9 ablation baseline.
+// The scan iterates in place (Each) instead of materializing a deep-cloned
+// snapshot of the whole collection.
+func (n *Node) flatAntiEntropyRound(ctx context.Context, peer string) (pushed, pulled int) {
+	var entries []nwr.Record
+	n.store.C(nwr.RecordCollection).Each(func(doc bson.D) bool {
+		rec, err := nwr.RecordFromDoc(doc)
+		if err != nil {
+			return true
+		}
+		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
+		if err != nil {
+			return true
+		}
+		for _, o := range owners {
+			if o == peer {
+				entries = append(entries, rec)
+				break
+			}
+		}
+		return len(entries) < aeBatchLimit
+	})
 	if len(entries) == 0 {
 		return 0, 0
 	}
 	digests := make(bson.A, len(entries))
-	for i, e := range entries {
+	for i, rec := range entries {
 		digests[i] = bson.D{
-			{Key: "key", Value: e.rec.Key},
-			{Key: "ver", Value: e.rec.Ver},
-			{Key: "origin", Value: e.rec.Origin},
+			{Key: "key", Value: rec.Key},
+			{Key: "ver", Value: rec.Ver},
+			{Key: "origin", Value: rec.Origin},
 		}
+		n.aeDigestBytes.Add(int64(len(rec.Key) + len(rec.Origin) + 24))
 	}
 	resp, err := n.tr.Call(ctx, peer, transport.Message{
 		Type: MsgAntiEntropy,
@@ -108,7 +635,8 @@ func (n *Node) AntiEntropyRound(ctx context.Context) (pushed, pulled int) {
 			}
 		}
 	}
-	// Push the records the peer asked for.
+	// Push the records the peer asked for, one write RPC per record — the
+	// item-at-a-time movement the streaming path replaces.
 	wantKeys := map[string]bool{}
 	if v, ok := resp.Get("want"); ok {
 		if arr, isArr := v.(bson.A); isArr {
@@ -119,9 +647,9 @@ func (n *Node) AntiEntropyRound(ctx context.Context) (pushed, pulled int) {
 			}
 		}
 	}
-	for _, e := range entries {
-		if wantKeys[e.rec.Key] {
-			if n.coord.WriteReplicaTo(ctx, peer, e.rec) {
+	for _, rec := range entries {
+		if wantKeys[rec.Key] {
+			if n.coord.WriteReplicaTo(ctx, peer, rec) {
 				pushed++
 			}
 		}
@@ -129,9 +657,9 @@ func (n *Node) AntiEntropyRound(ctx context.Context) (pushed, pulled int) {
 	return pushed, pulled
 }
 
-// handleAntiEntropy serves the peer side: compare each digest against local
-// state, return records strictly newer here and the keys wanted from the
-// caller.
+// handleAntiEntropy serves the flat baseline's peer side: compare each
+// digest against local state, return records strictly newer here and the
+// keys wanted from the caller.
 func (n *Node) handleAntiEntropy(body bson.D) (bson.D, error) {
 	var newer bson.A
 	var want bson.A
@@ -167,3 +695,39 @@ func (n *Node) handleAntiEntropy(body bson.D) (bson.D, error) {
 		{Key: "want", Value: want},
 	}, nil
 }
+
+// AEStats snapshots the anti-entropy and streaming-transfer counters.
+type AEStats struct {
+	// Rounds counts Merkle rounds initiated; FallbackRounds flat ones.
+	Rounds, FallbackRounds int64
+	// DigestBytes approximates reconciliation metadata shipped (tree hashes
+	// plus key/version digests) — the O(keys) vs O(log keys) comparison.
+	DigestBytes int64
+	// LeavesDiverged counts leaf ranges that needed reconciliation.
+	LeavesDiverged int64
+	// Stream transfer volume and throttle stalls (all streaming users:
+	// anti-entropy, rebalance, hint drain).
+	StreamBatches, StreamRecords, StreamBytes int64
+	ThrottleWaitNanos                         int64
+	// VersionRegressions counts applied mutations that replaced a record
+	// with an older version — must stay zero (chaos invariant 5).
+	VersionRegressions int64
+}
+
+// AEStats returns this node's anti-entropy/transfer counters.
+func (n *Node) AEStats() AEStats {
+	return AEStats{
+		Rounds:             n.aeRounds.Load(),
+		FallbackRounds:     n.aeFallbackRounds.Load(),
+		DigestBytes:        n.aeDigestBytes.Load(),
+		LeavesDiverged:     n.aeLeavesDiverged.Load(),
+		StreamBatches:      n.streamBatches.Load(),
+		StreamRecords:      n.streamRecords.Load(),
+		StreamBytes:        n.streamBytes.Load(),
+		ThrottleWaitNanos:  n.streamThrottleNanos.Load(),
+		VersionRegressions: n.aeRegressions.Load(),
+	}
+}
+
+// VersionRegressions exposes chaos invariant 5's tripwire directly.
+func (n *Node) VersionRegressions() int64 { return n.aeRegressions.Load() }

@@ -46,6 +46,25 @@ func (n *Node) RegisterMetrics(r *metrics.Registry) {
 	r.Register("mystore_gossip_live_peers", "Peers this node currently believes are up.", metrics.TypeGauge, "node").
 		Add(addr, func() float64 { return float64(len(gossiper.LiveEndpoints())) })
 
+	r.Register("mystore_ae_rounds_total", "Merkle anti-entropy rounds initiated by this node.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.aeRounds.Load()) })
+	r.Register("mystore_ae_fallback_rounds_total", "Flat-digest anti-entropy rounds initiated (Merkle disabled).", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.aeFallbackRounds.Load()) })
+	r.Register("mystore_ae_digest_bytes_total", "Reconciliation metadata shipped: tree hashes plus key/version digests.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.aeDigestBytes.Load()) })
+	r.Register("mystore_ae_leaves_diverged_total", "Merkle leaf ranges found divergent and reconciled.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.aeLeavesDiverged.Load()) })
+	r.Register("mystore_ae_version_regressions_total", "Applied mutations that replaced a record with an older version (must stay 0).", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.aeRegressions.Load()) })
+	r.Register("mystore_stream_batches_total", "Streamed repair batches sent by this node.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.streamBatches.Load()) })
+	r.Register("mystore_stream_records_total", "Records moved by streamed repair batches sent from this node.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.streamRecords.Load()) })
+	r.Register("mystore_stream_bytes_total", "Payload bytes moved by streamed repair from this node.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.streamBytes.Load()) })
+	r.Register("mystore_stream_throttle_wait_seconds_total", "Time streamed repair spent stalled in the bandwidth throttle.", metrics.TypeCounter, "node").
+		Add(addr, func() float64 { return float64(n.streamThrottleNanos.Load()) / 1e9 })
+
 	if bs := n.breakers; bs != nil {
 		r.Register("mystore_breaker_open", "Peer circuit breakers currently open.", metrics.TypeGauge, "node").
 			Add(addr, func() float64 { return float64(bs.OpenCount()) })

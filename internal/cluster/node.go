@@ -11,9 +11,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mystore/internal/bson"
@@ -66,6 +68,23 @@ type Config struct {
 	// DisableBreakers leaves the circuit breakers unwired, so a dead peer
 	// costs a full CallTimeout per attempt again (ablations).
 	DisableBreakers bool
+	// Seed, when non-zero, seeds the node's background-work RNG (anti-entropy
+	// peer selection) so chaos and ablation runs are reproducible. Zero keeps
+	// the process-global RNG.
+	Seed int64
+	// RepairBandwidth caps background transfer (streaming batches: rebalance,
+	// re-replication, anti-entropy leaf sync, hint drain) at this many bytes
+	// per second via a token bucket, so repair traffic cannot starve
+	// foreground puts/gets. Zero means unthrottled.
+	RepairBandwidth int64
+	// StreamBatchBytes bounds one node.stream.records batch (default 256 KiB).
+	StreamBatchBytes int
+	// DisableMerkleAE falls back to the flat digest anti-entropy (every shared
+	// record digested per round, aeBatchLimit keys max). Ablations only.
+	DisableMerkleAE bool
+	// DisableStreamTransfer moves records one RPC at a time instead of in
+	// streamed batches (rebalance, re-replication, leaf sync). Ablations only.
+	DisableStreamTransfer bool
 	// Tracer, when non-nil, is this node's trace collector. Transports that
 	// support it (TCP) join incoming on-wire trace ids against it, so a
 	// networked node's spans correlate with the originating gateway trace.
@@ -104,6 +123,26 @@ type Node struct {
 
 	breakers *resilience.BreakerSet // nil when cfg.DisableBreakers
 
+	// throttle paces background streaming transfer (nil when unthrottled).
+	throttle *tokenBucket
+	// rng drives anti-entropy peer selection; seeded from cfg.Seed for
+	// reproducible runs. Guarded by mu.
+	rng *rand.Rand
+	// ae holds the incrementally maintained Merkle forest (one tree per
+	// peer) behind anti-entropy.
+	ae aeState
+
+	// Background-transfer instrumentation (see stream.go, antientropy.go).
+	streamBatches       atomic.Int64
+	streamRecords       atomic.Int64
+	streamBytes         atomic.Int64
+	streamThrottleNanos atomic.Int64
+	aeRounds            atomic.Int64
+	aeDigestBytes       atomic.Int64
+	aeLeavesDiverged    atomic.Int64
+	aeFallbackRounds    atomic.Int64
+	aeRegressions       atomic.Int64
+
 	mu                 sync.Mutex
 	closed             bool
 	rebalanceWanted    bool
@@ -129,6 +168,12 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		ring:   ring.New(),
 		inRing: map[string]bool{},
 	}
+	n.throttle = newTokenBucket(cfg.RepairBandwidth, cfg.Now)
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = rand.Int63() // unseeded runs stay random
+	}
+	n.rng = rand.New(rand.NewSource(seed))
 	if !cfg.DisableBreakers {
 		if cfg.NWR.Breakers == nil {
 			cfg.NWR.Breakers = resilience.NewBreakerSet(cfg.Breakers)
@@ -153,6 +198,22 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	n.coord.Live = func(addr string) bool {
 		st := n.gossiper.StatusOf(addr)
 		return st == gossip.StatusUp || st == gossip.StatusUnknown
+	}
+	// Maintain the anti-entropy Merkle forest incrementally on every record
+	// apply (and trip the version-regression invariant if a repair path ever
+	// goes backwards). WAL replay already ran in Open, so the forest starts
+	// unbuilt and the first round's scan covers restart data.
+	store.C(nwr.RecordCollection).SetApplyObserver(n.observeRecordApply)
+	if !cfg.DisableStreamTransfer {
+		// Hint writeback drains a page per streamed batch instead of one
+		// RPC per parked record.
+		n.coord.StreamTo = func(ctx context.Context, target string, recs []nwr.Record) bool {
+			ss := n.newStreamSender(target)
+			for _, rec := range recs {
+				ss.Add(ctx, rec)
+			}
+			return ss.Flush(ctx)
+		}
 	}
 	// Join the ring locally and announce capacity through gossip so peers
 	// add us with the right weight.
@@ -203,6 +264,7 @@ func (n *Node) addToRing(addr string, weight int) error {
 	n.inRing[addr] = true
 	n.rebalanceWanted = true
 	n.rebalanceNotBefore = time.Time{} // a real ring change rebalances now
+	n.ae.markDirty() // ownership moved; the Merkle forest must be rebuilt
 	return nil
 }
 
@@ -216,6 +278,7 @@ func (n *Node) removeFromRing(addr string) {
 		delete(n.inRing, addr)
 		n.rebalanceWanted = true
 		n.rebalanceNotBefore = time.Time{}
+		n.ae.markDirty()
 	}
 }
 
@@ -351,6 +414,16 @@ func (n *Node) handleMessage(ctx context.Context, msg transport.Message) (bson.D
 		return n.handleQueryLocal(msg.Body)
 	case MsgAntiEntropy:
 		return n.handleAntiEntropy(msg.Body)
+	case MsgAEChildren:
+		return n.handleAEChildren(msg.Body)
+	case MsgAELeaf:
+		return n.handleAELeaf(msg.Body)
+	case MsgStreamRecords:
+		return n.handleStreamRecords(ctx, msg.Body)
+	case MsgStreamOffer:
+		return n.handleStreamOffer(msg.Body)
+	case MsgStreamFetch:
+		return n.handleStreamFetch(msg.Body)
 	case MsgAggregate:
 		return n.handleAggregate(ctx, msg.Body)
 	default:

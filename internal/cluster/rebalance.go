@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"sort"
 
-	"mystore/internal/docstore"
+	"mystore/internal/bson"
 	"mystore/internal/nwr"
+	"mystore/internal/resilience"
 )
 
 // Rebalance runs the paper's two data-movement duties on this node:
@@ -17,28 +19,36 @@ import (
 //     the current replica set that lacks the record receives a copy, so the
 //     replication factor recovers after a departure.
 //
-// The scan is one pass over the local records collection against the
-// current ring view. It returns how many records were pushed and how many
-// were dropped locally. A pass that could not complete a push — the new
-// owner unreachable, its breaker open — re-arms the rebalance flag, so the
-// next tick retries instead of stranding records on non-owners until the
-// next membership change.
+// One in-place pass over the records collection (no deep-cloned snapshot)
+// buckets work per destination peer; each peer then gets a digest offer —
+// so records it already holds current move no payload — and the wanted
+// records in streamed, throttled batches. Peers whose circuit breaker is
+// open are skipped before any dial. It returns how many records were pushed
+// and how many were dropped locally. A pass that could not complete — a
+// peer unreachable, its breaker open, a migrated record unconfirmed — re-
+// arms the rebalance flag, so the next tick retries instead of stranding
+// records on non-owners until the next membership change.
 func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 	coll := n.store.C(nwr.RecordCollection)
-	docs, err := coll.Find(docstore.Filter{}, docstore.FindOptions{})
-	if err != nil {
-		return 0, 0
-	}
 	self := n.Addr()
-	incomplete := false
-	for _, doc := range docs {
+
+	// Bucket the work in one scan. Docs passed by Each are shared, not
+	// cloned — records and ids are retained but never mutated.
+	type migration struct {
+		rec    nwr.Record
+		id     any
+		owners []string
+	}
+	perPeer := map[string][]nwr.Record{}
+	var migrations []migration
+	coll.Each(func(doc bson.D) bool {
 		rec, err := nwr.RecordFromDoc(doc)
 		if err != nil {
-			continue
+			return true
 		}
 		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
 		if err != nil {
-			continue
+			return true
 		}
 		selfOwns := false
 		for _, o := range owners {
@@ -52,44 +62,91 @@ func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 			// departure). Reads would repair lazily; this is the proactive
 			// path Fig 9 describes.
 			for _, o := range owners {
-				if o == self {
-					continue
+				if o != self {
+					perPeer[o] = append(perPeer[o], rec)
 				}
-				sent, failed := n.ensureReplica(ctx, o, rec)
+			}
+			return true
+		}
+		// The record now belongs elsewhere (a node joined). It goes to every
+		// owner; the local copy is dropped once at least one owner confirms.
+		id, _ := doc.Get("_id")
+		migrations = append(migrations, migration{rec: rec, id: id, owners: owners})
+		for _, o := range owners {
+			perPeer[o] = append(perPeer[o], rec)
+		}
+		return true
+	})
+
+	peers := make([]string, 0, len(perPeer))
+	for p := range perPeer {
+		peers = append(peers, p)
+	}
+	sort.Strings(peers) // deterministic movement order under -seed
+
+	incomplete := false
+	confirmed := make(map[string]map[string]bool, len(peers))
+	for _, peer := range peers {
+		if n.peerBreakerOpen(peer) {
+			// An open breaker means recent proof the peer is down: skip the
+			// dial entirely instead of burning a call into it, and retry
+			// after the cool-down.
+			incomplete = true
+			continue
+		}
+		recs := perPeer[peer]
+		if n.cfg.DisableStreamTransfer {
+			// Item-at-a-time baseline: one read plus one write RPC per
+			// record needing movement.
+			got := map[string]bool{}
+			for _, rec := range recs {
+				sent, failed := n.ensureReplica(ctx, peer, rec)
 				if sent {
 					pushed++
 				}
 				if failed {
 					incomplete = true
+				} else {
+					got[rec.Key] = true
 				}
 			}
+			confirmed[peer] = got
 			continue
 		}
-		// The record now belongs elsewhere (a node joined). Push it to the
-		// owners that lack it, then drop the local copy.
-		delivered := false
-		for _, o := range owners {
-			sent, failed := n.ensureReplica(ctx, o, rec)
-			if sent {
-				pushed++
-			}
-			if failed {
-				incomplete = true
-			}
-			if n.hasReplica(ctx, o, rec) {
-				delivered = true
-			}
+		os := n.newOfferSender(peer)
+		for _, rec := range recs {
+			os.Add(ctx, rec)
 		}
-		if delivered {
-			if id, ok := doc.Get("_id"); ok {
-				if _, err := coll.Delete(id); err == nil {
-					dropped++
-				}
-			}
-		} else {
+		got, ok := os.Close(ctx)
+		pushed += os.Sent()
+		if !ok {
 			incomplete = true
 		}
+		confirmed[peer] = got
 	}
+
+	// Drop migrated records that at least one of their new owners confirmed
+	// holding (deletes deferred out of the scan: Each callbacks must not
+	// re-enter the collection).
+	for _, m := range migrations {
+		delivered := false
+		for _, o := range m.owners {
+			if confirmed[o][m.rec.Key] {
+				delivered = true
+				break
+			}
+		}
+		if !delivered {
+			incomplete = true
+			continue
+		}
+		if m.id != nil {
+			if _, err := coll.Delete(m.id); err == nil {
+				dropped++
+			}
+		}
+	}
+
 	if incomplete {
 		// Retry, but after a cool-down: an immediate re-arm would make every
 		// tick re-scan the whole store while peers are still unreachable,
@@ -100,6 +157,11 @@ func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 		n.mu.Unlock()
 	}
 	return pushed, dropped
+}
+
+// peerBreakerOpen reports whether peer's circuit breaker is currently open.
+func (n *Node) peerBreakerOpen(peer string) bool {
+	return n.breakers != nil && n.breakers.For(peer).State() == resilience.Open
 }
 
 // ensureReplica pushes rec to owner if the owner lacks it or holds an older
@@ -117,14 +179,4 @@ func (n *Node) ensureReplica(ctx context.Context, owner string, rec nwr.Record) 
 		return true, false
 	}
 	return false, true
-}
-
-// hasReplica reports whether owner currently holds rec's key at rec's
-// version or newer.
-func (n *Node) hasReplica(ctx context.Context, owner string, rec nwr.Record) bool {
-	cur, found, err := n.coord.ReadReplicaFrom(ctx, owner, rec.Key)
-	if err != nil || !found {
-		return false
-	}
-	return !rec.Newer(cur)
 }

@@ -22,6 +22,13 @@ type Collection struct {
 	primary   *btree.Tree // idKey -> bson.D
 	indexes   map[string]*fieldIndex
 	dataBytes int64
+
+	// observer, when non-nil, runs inside every applied mutation with the
+	// previous and new version of the document (nil when absent), under the
+	// collection write lock. The cluster layer uses it to maintain the
+	// anti-entropy hash trees incrementally. It must be fast and must not
+	// call back into the collection.
+	observer func(old, new bson.D)
 }
 
 func newCollection(s *Store, name string) *Collection {
@@ -275,6 +282,48 @@ func (c *Collection) FindOneEach(field string, values []string) (map[string]bson
 	return out, nil
 }
 
+// SetApplyObserver installs fn to run on every applied mutation with the
+// document's previous and new version (nil when absent): (nil, doc) for an
+// insert, (old, doc) for an update, (old, nil) for a delete. fn runs under
+// the collection write lock in apply order — it must be fast and must not
+// call back into this collection. Pass nil to remove. WAL replay happens
+// before any observer can be installed, so derived state covering restart
+// data must be rebuilt by scanning (see Each).
+func (c *Collection) SetApplyObserver(fn func(old, new bson.D)) {
+	c.mu.Lock()
+	c.observer = fn
+	c.mu.Unlock()
+}
+
+// Each calls fn for every document in primary-key order under a single read
+// lock — the batch counterpart of Find(Filter{}) without materializing (or
+// deep-cloning) the whole collection. fn receives the stored document
+// itself: it must treat it as immutable and must not call back into the
+// collection. Iteration stops when fn returns false. Retaining the document
+// or values inside it past the callback is safe — applied mutations replace
+// whole documents, never edit them in place.
+func (c *Collection) Each(fn func(doc bson.D) bool) {
+	c.EachSynced(nil, fn)
+}
+
+// EachSynced is Each with a begin hook invoked after the read lock is held
+// and before the first document. Writers are excluded for the whole scan, so
+// callers rebuilding derived state (the cluster's Merkle forest) use begin
+// to open their live-update window exactly at the snapshot point: every
+// mutation either completed before the scan (and is seen by it) or starts
+// after it (and reaches the observer installed by begin) — never both.
+func (c *Collection) EachSynced(begin func(), fn func(doc bson.D) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if begin != nil {
+		begin()
+	}
+	c.primary.Ascend(func(it btree.Item) bool {
+		return fn(it.Value.(bson.D))
+	})
+	c.store.statScans.Add(1)
+}
+
 // Count returns the number of documents matching filter.
 func (c *Collection) Count(filter Filter) (int, error) {
 	if len(filter) == 0 {
@@ -500,6 +549,9 @@ func (c *Collection) applyInsert(doc bson.D) error {
 		ix.insert(string(key), doc)
 	}
 	c.dataBytes += int64(len(enc))
+	if c.observer != nil {
+		c.observer(nil, doc)
+	}
 	return nil
 }
 
@@ -549,6 +601,9 @@ func (c *Collection) applyUpdate(doc bson.D) error {
 	}
 	c.primary.Set(key, doc)
 	c.dataBytes += int64(len(enc)) - int64(len(oldEnc))
+	if c.observer != nil {
+		c.observer(oldDoc, doc)
+	}
 	return nil
 }
 
@@ -570,6 +625,9 @@ func (c *Collection) applyDelete(id any) error {
 	}
 	c.primary.Delete(key)
 	c.dataBytes -= int64(len(oldEnc))
+	if c.observer != nil {
+		c.observer(oldDoc, nil)
+	}
 	return nil
 }
 

@@ -46,12 +46,16 @@ type ChaosResult struct {
 	// quorum-first or batched read that settled with fewer than R responses.
 	// Hedged reads must never weaken the R contract, so this must stay 0.
 	ReadQuorumViolations int64
+	// VersionRegressions is invariant 5: anti-entropy, rebalance and
+	// streamed transfers must never replace a record with an older version.
+	// Every node's apply path counts such regressions; the sum must stay 0.
+	VersionRegressions int64
 }
 
 // Violations totals the invariant breaches; zero means the soak passed.
 func (r ChaosResult) Violations() int64 {
 	return r.LostWrites + r.ValueViolations + int64(r.HintsAtEnd) + r.DeadlineViolations +
-		r.ReadQuorumViolations
+		r.ReadQuorumViolations + r.VersionRegressions
 }
 
 // String summarizes the run.
@@ -69,6 +73,7 @@ func (r ChaosResult) String() string {
 		r.DeadlineViolations, r.MaxOvershoot.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  invariant 4 — reads settled below R quorum:    %d (%d reads hedged)\n",
 		r.ReadQuorumViolations, r.HedgedReads)
+	fmt.Fprintf(&b, "  invariant 5 — repair regressed record versions: %d\n", r.VersionRegressions)
 	if r.Violations() == 0 {
 		fmt.Fprintf(&b, "  PASS: no acked write was lost\n")
 	} else {
@@ -327,6 +332,7 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 		st := node.Coordinator().Stats()
 		result.HedgedReads += st.HedgedReads
 		result.ReadQuorumViolations += st.ReadQuorumViolations
+		result.VersionRegressions += node.VersionRegressions()
 	}
 	result.Ops = ops
 	result.AckedPuts = ackedPuts

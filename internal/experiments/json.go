@@ -69,6 +69,8 @@ func JSONSummary(res any) any {
 		return writePathJSON(r)
 	case ReadPathAblation:
 		return readPathJSON(r)
+	case RepairAblation:
+		return repairJSON(r)
 	default:
 		return nil
 	}
@@ -172,6 +174,51 @@ func readPathJSON(a ReadPathAblation) map[string]any {
 	}
 	if fullP99 > 0 && seedP99 > 0 {
 		out["waitforall_over_full_p99"] = round2(seedP99 / fullP99)
+	}
+	return out
+}
+
+// repairJSON emits the A9 rows plus the repair PR's acceptance headlines:
+// seed recovery time over the Merkle+stream recovery time (wants ≥5x), the
+// steady-state digest-cost ratio (O(keys) vs O(log keys)), and foreground
+// read p99 during throttled repair vs quiescent.
+func repairJSON(a RepairAblation) map[string]any {
+	rows := make([]map[string]any, 0, len(a.Rows))
+	var merkleMs, flatMs, merkleSteady, flatSteady float64
+	for _, row := range a.Rows {
+		rows = append(rows, map[string]any{
+			"config":              row.Config,
+			"lost_replicas":       row.Lost,
+			"recovery_ms":         round2(row.RecoveryMs),
+			"sweeps":              row.Sweeps,
+			"digest_bytes":        row.DigestBytes,
+			"stream_bytes":        row.StreamBytes,
+			"stream_records":      row.StreamRecords,
+			"steady_digest_bytes": row.SteadyDigestBytes,
+		})
+		switch row.Config {
+		case "merkle+stream":
+			merkleMs, merkleSteady = row.RecoveryMs, float64(row.SteadyDigestBytes)
+		case "flat+item (seed)":
+			flatMs, flatSteady = row.RecoveryMs, float64(row.SteadyDigestBytes)
+		}
+	}
+	out := map[string]any{
+		"records": a.Corpus,
+		"rows":    rows,
+		"foreground": map[string]any{
+			"repair_bandwidth_bps": a.Foreground.BandwidthBps,
+			"reads":                a.Foreground.Reads,
+			"quiescent_p99_ms":     round2(a.Foreground.QuiescentP99ms),
+			"repair_p99_ms":        round2(a.Foreground.RepairP99ms),
+			"throttle_wait_ms":     round2(a.Foreground.ThrottleWaitMs),
+		},
+	}
+	if merkleMs > 0 && flatMs > 0 {
+		out["seed_over_full_recovery"] = round2(flatMs / merkleMs)
+	}
+	if merkleSteady > 0 && flatSteady > 0 {
+		out["seed_over_full_steady_digest"] = round2(flatSteady / merkleSteady)
 	}
 	return out
 }

@@ -160,6 +160,12 @@ type Coordinator struct {
 	// Live reports whether a peer is currently believed reachable; the
 	// cluster layer wires this to gossip. Nil means "assume live".
 	Live func(addr string) bool
+	// StreamTo, when non-nil, ships a batch of records to target over the
+	// cluster's streaming bulk-transfer path (size-bounded batches, token-
+	// bucket throttle) and reports whether every record was acknowledged.
+	// Hint writeback uses it to drain a page per RPC instead of one RPC per
+	// parked record. Nil falls back to per-record replica writes.
+	StreamTo func(ctx context.Context, target string, recs []Record) bool
 	// OnLocalOp, when non-nil, runs before every local store operation
 	// with the operation kind and the payload size involved. The
 	// failure-injection framework uses it to model disk I/O errors and
@@ -401,6 +407,14 @@ func (c *Coordinator) callPeer(ctx context.Context, target, msgType string, body
 		c.cfg.RetryBudget.Earn()
 	}
 	return resp, err
+}
+
+// CallPeer exposes the breaker-gated RPC path to the cluster layer: the
+// streaming bulk-transfer and Merkle anti-entropy RPCs ride the same
+// breakers, timeout and retry-budget accounting as replica traffic, so an
+// open breaker fast-fails repair work exactly like foreground work.
+func (c *Coordinator) CallPeer(ctx context.Context, target, msgType string, body bson.D) (bson.D, error) {
+	return c.callPeer(ctx, target, msgType, body)
 }
 
 // WriteReplicaTo applies rec on target (locally or over the wire),
@@ -694,6 +708,11 @@ func (c *Coordinator) deliverHintsTo(ctx context.Context, target string) {
 		if err != nil || len(page) == 0 {
 			return
 		}
+		type hint struct {
+			id  any
+			rec Record
+		}
+		hints := make([]hint, 0, len(page))
 		for _, h := range page {
 			id, hasID := h.Get("_id")
 			recDoc, ok := h.Get("record")
@@ -713,12 +732,34 @@ func (c *Coordinator) deliverHintsTo(ctx context.Context, target string) {
 				}
 				continue
 			}
-			if !c.writeReplica(ctx, target, rec) {
+			hints = append(hints, hint{id: id, rec: rec})
+		}
+		if c.StreamTo != nil && len(hints) > 0 {
+			// Bulk writeback: the whole page rides one (or few) streamed
+			// batches. Delivery is acked per page; a failed page leaves its
+			// hints parked — redelivery is idempotent under last-write-wins.
+			recs := make([]Record, len(hints))
+			for i, h := range hints {
+				recs[i] = h.rec
+			}
+			if !c.StreamTo(ctx, target, recs) {
 				c.hintTargetFailed(target)
 				return
 			}
-			if _, err := coll.Delete(id); err == nil {
-				c.bump(func(s *Stats) { s.HintsDelivered++ })
+			for _, h := range hints {
+				if _, err := coll.Delete(h.id); err == nil {
+					c.bump(func(s *Stats) { s.HintsDelivered++ })
+				}
+			}
+		} else {
+			for _, h := range hints {
+				if !c.writeReplica(ctx, target, h.rec) {
+					c.hintTargetFailed(target)
+					return
+				}
+				if _, err := coll.Delete(h.id); err == nil {
+					c.bump(func(s *Stats) { s.HintsDelivered++ })
+				}
 			}
 		}
 		if len(page) < hintPageSize {

@@ -151,6 +151,20 @@ type ClusterOptions struct {
 	// ReadHedgeDelay overrides the adaptive hedge delay (default: the
 	// coordinator's recent p95 read latency, floor 1ms).
 	ReadHedgeDelay time.Duration
+	// Seed, when non-zero, seeds every node's background RNG (anti-entropy
+	// peer selection) with Seed+i, making repair schedules reproducible.
+	Seed int64
+	// DisableMerkleAE reverts anti-entropy to the flat per-record digest
+	// exchange (repair ablation baseline).
+	DisableMerkleAE bool
+	// DisableStreamTransfer reverts repair data movement to one RPC per
+	// record (repair ablation baseline).
+	DisableStreamTransfer bool
+	// RepairBandwidth caps streamed repair traffic per node, in bytes/sec
+	// (token bucket; 0 means unthrottled).
+	RepairBandwidth int64
+	// StreamBatchBytes bounds one streamed batch (default 256 KiB).
+	StreamBatchBytes int
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -244,6 +258,10 @@ func (c *Cluster) nodeConfig(i int) cluster.Config {
 	if c.opts.DataDir != "" {
 		dir = fmt.Sprintf("%s/node-%d", c.opts.DataDir, i)
 	}
+	seed := int64(0)
+	if c.opts.Seed != 0 {
+		seed = c.opts.Seed + int64(i)
+	}
 	return cluster.Config{
 		Seeds:  c.seeds,
 		Weight: weight,
@@ -257,7 +275,12 @@ func (c *Cluster) nodeConfig(i int) cluster.Config {
 			WaitForAllReads: c.opts.WaitForAllReads,
 			HedgeDelay:      c.opts.ReadHedgeDelay,
 		},
-		DisableBreakers: c.opts.DisableBreakers,
+		DisableBreakers:       c.opts.DisableBreakers,
+		Seed:                  seed,
+		DisableMerkleAE:       c.opts.DisableMerkleAE,
+		DisableStreamTransfer: c.opts.DisableStreamTransfer,
+		RepairBandwidth:       c.opts.RepairBandwidth,
+		StreamBatchBytes:      c.opts.StreamBatchBytes,
 		StoreDir: dir,
 		Store: docstore.Options{
 			WAL: wal.Options{

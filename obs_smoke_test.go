@@ -110,6 +110,12 @@ func TestObsSmoke(t *testing.T) {
 		// store + gossip
 		"mystore_store_documents",
 		"mystore_gossip_live_peers",
+		// repair (Merkle anti-entropy + streamed transfer)
+		"mystore_ae_rounds_total",
+		"mystore_ae_digest_bytes_total",
+		"mystore_ae_version_regressions_total",
+		"mystore_stream_bytes_total",
+		"mystore_stream_throttle_wait_seconds_total",
 		// resilience
 		"mystore_breaker_open",
 		// transport

@@ -1,8 +1,8 @@
 #!/bin/sh
 # verify.sh — the repo's tier-1 gate: vet, build, full test suite, and the
 # race detector on the write path (docstore, wal, transport, nwr), the
-# resilience-bearing packages (cluster, gossip, cache, dispatch, resilience)
-# and the observability packages (metrics, trace).
+# resilience-bearing packages (cluster, gossip, cache, dispatch, resilience),
+# the repair path (merkle) and the observability packages (metrics, trace).
 # CI and pre-commit both run exactly this.
 set -eux
 
@@ -11,4 +11,4 @@ go build ./...
 go test ./...
 go test -race ./internal/docstore ./internal/wal ./internal/transport ./internal/nwr \
 	./internal/cluster ./internal/gossip ./internal/cache ./internal/dispatch ./internal/resilience \
-	./internal/metrics ./internal/trace
+	./internal/merkle ./internal/metrics ./internal/trace
