@@ -1,4 +1,4 @@
-.PHONY: verify test bench bench-read bench-repair chaos obs-smoke
+.PHONY: verify test bench bench-read bench-repair bench-storage chaos obs-smoke
 
 verify:
 	./verify.sh
@@ -21,6 +21,13 @@ bench-read:
 # "repair" in BENCH_results.json.
 bench-repair:
 	go run ./cmd/mystore-bench -quick -seed 42 -json BENCH_results.json repair
+
+# bench-storage runs the A10 storage ablation (lsm memtable/SSTable engine
+# with WAL checkpointing vs the seed's all-in-memory map engine: restart
+# cost, resident heap, foreground p99 under rate-limited compaction) at a
+# fixed seed and records its rows under "storage" in BENCH_results.json.
+bench-storage:
+	go run ./cmd/mystore-bench -quick -seed 42 -json BENCH_results.json storage
 
 # chaos runs the resilience gate: randomized fault schedules, crash-restarts
 # with WAL recovery, and partitions; exits non-zero on any lost acked write,

@@ -7,18 +7,22 @@
 //	mystore-bench [flags] <experiment>
 //
 // Experiments: fig11, fig12, fig13 (covers Fig 14 too), fig15, fig16,
-// fig17, context, soak, chaos, ablate, read_path, repair, all. The
+// fig17, context, soak, chaos, ablate, read_path, repair, storage, all. The
 // read_path experiment is the A8 study: read tail latency under one slow
 // replica for the full quorum-first/hedged/coalesced path against each
 // piece ablated, plus the hot-key coalescing bound. The repair experiment
 // is the A9 study: crash recovery time, reconciliation metadata and bytes
 // moved for Merkle anti-entropy with streamed transfer against the seed's
 // flat digests with item-at-a-time movement, plus foreground read p99
-// under bandwidth-throttled repair. The chaos experiment is the
-// resilience gate: randomized Table 2 faults plus crash-restarts and
-// partitions, exiting non-zero if any acked write is lost, any hint queue
-// fails to drain, any request overruns its deadline by more than one
-// replica call timeout, or repair regresses any record version.
+// under bandwidth-throttled repair. The storage experiment is the A10
+// study: restart cost with a checkpointed WAL vs full-history replay,
+// resident heap for a dataset ~10x the memtable budget, and foreground
+// read p99 during rate-limited background compaction. The chaos experiment
+// is the resilience gate: randomized Table 2 faults plus kill -9
+// crash-restarts and partitions over lsm-engine nodes, exiting non-zero if
+// any acked write is lost, any hint queue fails to drain, any request
+// overruns its deadline by more than one replica call timeout, repair
+// regresses any record version, or recovery loads a torn table.
 //
 // Flags:
 //
@@ -52,7 +56,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|chaos|ablate|read_path|repair|all")
+		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|chaos|ablate|read_path|repair|storage|all")
 		os.Exit(2)
 	}
 
@@ -123,9 +127,12 @@ func main() {
 	run("ablate", func() (fmt.Stringer, error) { return experiments.RunAblations(scale) })
 	run("read_path", func() (fmt.Stringer, error) { return experiments.RunReadPathAblation(scale) })
 	run("repair", func() (fmt.Stringer, error) { return experiments.RunRepairAblation(scale) })
+	run("storage", func() (fmt.Stringer, error) {
+		return experiments.RunStorageAblation(scale, filepath.Join(tmp, "storage"))
+	})
 
 	switch which {
-	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "chaos", "ablate", "read_path", "repair", "all":
+	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "chaos", "ablate", "read_path", "repair", "storage", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)

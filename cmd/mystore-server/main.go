@@ -28,6 +28,8 @@ func main() {
 	seeds := flag.String("seeds", "", "comma-separated seed node addresses (include this node's address to make it a seed)")
 	dataDir := flag.String("data", "", "persistence directory (empty = in-memory)")
 	durable := flag.Bool("durable", false, "fsync every write before acknowledging (group-committed)")
+	engine := flag.String("engine", "", `storage engine: "map" (in-memory, default) or "lsm" (persistent SSTables, needs -data)`)
+	memtable := flag.Int64("memtable", 0, "lsm memtable budget in bytes before flushing to an SSTable (0 = default 4 MiB)")
 	weight := flag.Int("weight", 1, "capacity weight (scales virtual nodes)")
 	n := flag.Int("n", 3, "replication factor N")
 	w := flag.Int("w", 2, "write quorum W")
@@ -53,6 +55,8 @@ func main() {
 		R:              *r,
 		DataDir:        *dataDir,
 		Durable:        *durable,
+		StorageEngine:  *engine,
+		MemtableBytes:  *memtable,
 		GossipInterval: *gossipEvery,
 	})
 	if err != nil {

@@ -389,7 +389,7 @@ func (n *Node) syncLeaves(ctx context.Context, peer string, tree *merkle.Tree, l
 		}
 	}
 
-	var wantKeys []string   // pull from peer: they have it newer or we lack it
+	var wantKeys []string     // pull from peer: they have it newer or we lack it
 	var pushRecs []nwr.Record // push to peer: we have it newer or they lack it
 	for key, rd := range remote {
 		lrec, have := local[key]

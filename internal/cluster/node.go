@@ -264,7 +264,7 @@ func (n *Node) addToRing(addr string, weight int) error {
 	n.inRing[addr] = true
 	n.rebalanceWanted = true
 	n.rebalanceNotBefore = time.Time{} // a real ring change rebalances now
-	n.ae.markDirty() // ownership moved; the Merkle forest must be rebuilt
+	n.ae.markDirty()                   // ownership moved; the Merkle forest must be rebuilt
 	return nil
 }
 
@@ -494,6 +494,24 @@ func (n *Node) statusDoc() bson.D {
 		{Key: "breakersOpen", Value: int64(n.breakers.OpenCount())},
 		{Key: "breakerFastFails", Value: n.breakers.Stats().FastFailures},
 	}
+}
+
+// Kill abandons the node as an abrupt process death (kill -9) would: the
+// endpoint stops answering, and the store crashes without flushing or
+// fsyncing — in-flight memtable flushes and compactions are left torn on
+// disk. A replacement node must recover from the directory state alone.
+// The chaos harness uses it to exercise storage recovery invariants.
+func (n *Node) Kill() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	n.mu.Unlock()
+	n.tr.Close()
+	n.coord.Close()
+	n.store.Crash()
 }
 
 // Close stops serving and closes the local store.

@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"mystore/internal/bson"
-	"mystore/internal/btree"
 	"mystore/internal/uuid"
 )
 
@@ -19,7 +18,7 @@ type Collection struct {
 	mu        sync.RWMutex
 	store     *Store
 	name      string
-	primary   *btree.Tree // idKey -> bson.D
+	primary   primaryStore // idKey -> document, engine-backed
 	indexes   map[string]*fieldIndex
 	dataBytes int64
 
@@ -32,10 +31,16 @@ type Collection struct {
 }
 
 func newCollection(s *Store, name string) *Collection {
+	var primary primaryStore
+	if s.engine != nil {
+		primary = newLsmPrimary(s.engine, name)
+	} else {
+		primary = newMemPrimary()
+	}
 	return &Collection{
 		store:   s,
 		name:    name,
-		primary: btree.New(),
+		primary: primary,
 		indexes: make(map[string]*fieldIndex),
 	}
 }
@@ -152,7 +157,7 @@ func (c *Collection) Get(id any) (bson.D, bool) {
 	if !ok {
 		return nil, false
 	}
-	return v.(bson.D).Clone(), true
+	return v.Clone(), true
 }
 
 // EnsureIndex creates a secondary index over the given field path if one
@@ -170,8 +175,8 @@ func (c *Collection) EnsureIndex(field string, unique bool) error {
 		seen := map[string]bool{}
 		var dup bool
 		c.mu.RLock()
-		c.primary.Ascend(func(it btree.Item) bool {
-			v, ok := lookupPath(it.Value.(bson.D), field)
+		c.primary.Ascend(func(_ []byte, doc bson.D) bool {
+			v, ok := lookupPath(doc, field)
 			if !ok {
 				return true
 			}
@@ -272,7 +277,7 @@ func (c *Collection) FindOneEach(field string, values []string) (map[string]bson
 		}
 		for _, idk := range ix.lookupEq(v) {
 			if doc, ok := c.primary.Get([]byte(idk)); ok {
-				out[v] = doc.(bson.D).Clone()
+				out[v] = doc.Clone()
 				break
 			}
 		}
@@ -318,8 +323,8 @@ func (c *Collection) EachSynced(begin func(), fn func(doc bson.D) bool) {
 	if begin != nil {
 		begin()
 	}
-	c.primary.Ascend(func(it btree.Item) bool {
-		return fn(it.Value.(bson.D))
+	c.primary.Ascend(func(_ []byte, doc bson.D) bool {
+		return fn(doc)
 	})
 	c.store.statScans.Add(1)
 }
@@ -359,7 +364,7 @@ func (c *Collection) Find(filter Filter, opts FindOptions) ([]bson.D, error) {
 	if candidates != nil {
 		for _, idk := range candidates {
 			if v, ok := c.primary.Get([]byte(idk)); ok {
-				if err := verify(v.(bson.D)); err != nil {
+				if err := verify(v); err != nil {
 					c.mu.RUnlock()
 					return nil, err
 				}
@@ -373,8 +378,8 @@ func (c *Collection) Find(filter Filter, opts FindOptions) ([]bson.D, error) {
 			budget = opts.Skip + opts.Limit
 		}
 		var scanErr error
-		c.primary.Ascend(func(it btree.Item) bool {
-			if scanErr = verify(it.Value.(bson.D)); scanErr != nil {
+		c.primary.Ascend(func(_ []byte, doc bson.D) bool {
+			if scanErr = verify(doc); scanErr != nil {
 				return false
 			}
 			return budget < 0 || len(out) < budget
@@ -529,7 +534,7 @@ func (c *Collection) checkInsert(doc bson.D) error {
 	return nil
 }
 
-func (c *Collection) applyInsert(doc bson.D) error {
+func (c *Collection) applyInsert(doc bson.D, lsn uint64) error {
 	id, _ := doc.Get("_id")
 	key, err := idKey(id)
 	if err != nil {
@@ -541,16 +546,47 @@ func (c *Collection) applyInsert(doc bson.D) error {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.primary.Get(key); exists {
+	if old, exists := c.primary.Get(key); exists {
+		if c.store.recovering {
+			// Relaxed replay: a fuzzy snapshot (or checkpointed table state)
+			// may already hold ops at or past the replay position, so an
+			// insert of an existing document re-applies as an overwrite.
+			return c.replaceLocked(key, old, doc, enc, lsn)
+		}
 		return fmt.Errorf("%w: _id %v", ErrDuplicate, id)
 	}
-	c.primary.Set(key, doc)
+	return c.insertLocked(key, doc, enc, lsn)
+}
+
+// insertLocked stores a fresh document. Caller holds c.mu and has verified
+// the key is absent.
+func (c *Collection) insertLocked(key []byte, doc bson.D, enc []byte, lsn uint64) error {
+	if err := c.primary.Set(key, doc, enc, lsn, true); err != nil {
+		return err
+	}
 	for _, ix := range c.indexes {
 		ix.insert(string(key), doc)
 	}
 	c.dataBytes += int64(len(enc))
 	if c.observer != nil {
 		c.observer(nil, doc)
+	}
+	return nil
+}
+
+// replaceLocked swaps an existing document for doc. Caller holds c.mu.
+func (c *Collection) replaceLocked(key []byte, oldDoc, doc bson.D, enc []byte, lsn uint64) error {
+	if err := c.primary.Set(key, doc, enc, lsn, false); err != nil {
+		return err
+	}
+	oldEnc, _ := bson.Marshal(oldDoc)
+	for _, ix := range c.indexes {
+		ix.remove(string(key), oldDoc)
+		ix.insert(string(key), doc)
+	}
+	c.dataBytes += int64(len(enc)) - int64(len(oldEnc))
+	if c.observer != nil {
+		c.observer(oldDoc, doc)
 	}
 	return nil
 }
@@ -577,7 +613,7 @@ func (c *Collection) checkUpdate(doc bson.D) error {
 	return nil
 }
 
-func (c *Collection) applyUpdate(doc bson.D) error {
+func (c *Collection) applyUpdate(doc bson.D, lsn uint64) error {
 	id, _ := doc.Get("_id")
 	key, err := idKey(id)
 	if err != nil {
@@ -591,23 +627,18 @@ func (c *Collection) applyUpdate(doc bson.D) error {
 	defer c.mu.Unlock()
 	old, exists := c.primary.Get(key)
 	if !exists {
+		if c.store.recovering {
+			// Relaxed replay: the snapshot may reflect a later delete of this
+			// document; re-applying the update as an insert converges because
+			// that delete is also in the replayed tail.
+			return c.insertLocked(key, doc, enc, lsn)
+		}
 		return fmt.Errorf("%w: _id %v", ErrNotFound, id)
 	}
-	oldDoc := old.(bson.D)
-	oldEnc, _ := bson.Marshal(oldDoc)
-	for _, ix := range c.indexes {
-		ix.remove(string(key), oldDoc)
-		ix.insert(string(key), doc)
-	}
-	c.primary.Set(key, doc)
-	c.dataBytes += int64(len(enc)) - int64(len(oldEnc))
-	if c.observer != nil {
-		c.observer(oldDoc, doc)
-	}
-	return nil
+	return c.replaceLocked(key, old, doc, enc, lsn)
 }
 
-func (c *Collection) applyDelete(id any) error {
+func (c *Collection) applyDelete(id any, lsn uint64) error {
 	key, err := idKey(id)
 	if err != nil {
 		return err
@@ -618,30 +649,45 @@ func (c *Collection) applyDelete(id any) error {
 	if !exists {
 		return nil // deleting an absent document is a no-op on replay
 	}
-	oldDoc := old.(bson.D)
-	oldEnc, _ := bson.Marshal(oldDoc)
+	oldEnc, _ := bson.Marshal(old)
 	for _, ix := range c.indexes {
-		ix.remove(string(key), oldDoc)
+		ix.remove(string(key), old)
 	}
-	c.primary.Delete(key)
+	if err := c.primary.Delete(key, lsn); err != nil {
+		return err
+	}
 	c.dataBytes -= int64(len(oldEnc))
 	if c.observer != nil {
-		c.observer(oldDoc, nil)
+		c.observer(old, nil)
 	}
 	return nil
 }
 
-func (c *Collection) applyEnsureIndex(field string, unique bool) error {
+func (c *Collection) applyEnsureIndex(field string, unique bool, lsn uint64) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, exists := c.indexes[field]; exists {
 		return nil
 	}
+	if lp, ok := c.primary.(*lsmPrimary); ok {
+		// Persist the definition so a restart can rebuild the index from
+		// table state alone, even after the WAL that carried the "index" op
+		// has been checkpointed away.
+		if err := lp.saveIndexDef(field, unique, lsn); err != nil {
+			return err
+		}
+	}
+	c.buildIndexLocked(field, unique)
+	return nil
+}
+
+// buildIndexLocked constructs a secondary index over current contents.
+// Caller holds c.mu.
+func (c *Collection) buildIndexLocked(field string, unique bool) {
 	ix := newFieldIndex(field, unique)
-	c.primary.Ascend(func(it btree.Item) bool {
-		ix.insert(string(it.Key), it.Value.(bson.D))
+	c.primary.Ascend(func(key []byte, doc bson.D) bool {
+		ix.insert(string(key), doc)
 		return true
 	})
 	c.indexes[field] = ix
-	return nil
 }

@@ -10,7 +10,6 @@ import (
 	"path/filepath"
 
 	"mystore/internal/bson"
-	"mystore/internal/btree"
 	"mystore/internal/wal"
 )
 
@@ -26,19 +25,30 @@ import (
 
 const snapshotFile = "snapshot.bson"
 
-// Compact writes a snapshot and truncates the WAL before it. It is a no-op
-// for in-memory stores.
+// Compact bounds WAL growth. With the lsm engine it forces a memtable
+// flush — the tables are the snapshot, and the flush's checkpoint truncates
+// the WAL. With the map engine it writes a fuzzy snapshot: the covered LSN
+// is pinned under a brief writeMu hold, document references are gathered
+// per collection under that collection's read lock only (documents are
+// immutable once applied, so holding pointers is safe), and all encoding
+// and file I/O runs outside every lock. Writers therefore stall for O(1)
+// lock work, not for the dump. The snapshot may include ops at or past its
+// recorded LSN; recovery replays the tail with relaxed (blind-write)
+// semantics, which converges to the same state.
 func (s *Store) Compact() error {
 	if s.opts.Dir == "" {
 		return nil
 	}
-	// Hold writeMu so the snapshot is a consistent point-in-time image and
-	// its LSN matches exactly the ops it contains.
+	if s.engine != nil {
+		return s.engine.Flush()
+	}
+	// Pin the snapshot position with no apply in flight, and snapshot the
+	// collection map.
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		s.writeMu.Unlock()
 		return ErrClosed
 	}
 	colls := make(map[string]*Collection, len(s.colls))
@@ -46,8 +56,35 @@ func (s *Store) Compact() error {
 		colls[name] = c
 	}
 	s.mu.RUnlock()
-
 	upto := s.log.NextLSN()
+	s.writeMu.Unlock()
+
+	// Gather phase: per-collection read lock, pointer copies only.
+	type collDump struct {
+		name    string
+		indexes bson.A
+		docs    []bson.D
+	}
+	dumps := make([]collDump, 0, len(colls))
+	for name, c := range colls {
+		d := collDump{name: name}
+		c.mu.RLock()
+		for field, ix := range c.indexes {
+			d.indexes = append(d.indexes, bson.D{
+				{Key: "field", Value: field},
+				{Key: "unique", Value: ix.unique},
+			})
+		}
+		d.docs = make([]bson.D, 0, c.primary.Len())
+		c.primary.Ascend(func(_ []byte, doc bson.D) bool {
+			d.docs = append(d.docs, doc)
+			return true
+		})
+		c.mu.RUnlock()
+		dumps = append(dumps, d)
+	}
+
+	// Encode-and-write phase: no locks held; concurrent writers proceed.
 	tmp := filepath.Join(s.opts.Dir, snapshotFile+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -71,24 +108,18 @@ func (s *Store) Compact() error {
 
 	err = writeDoc(bson.D{{Key: "lsn", Value: int64(upto)}})
 	if err == nil {
-		for name, c := range colls {
-			var indexes bson.A
-			c.mu.RLock()
-			for field, ix := range c.indexes {
-				indexes = append(indexes, bson.D{
-					{Key: "field", Value: field},
-					{Key: "unique", Value: ix.unique},
-				})
-			}
-			if err = writeDoc(bson.D{{Key: "coll", Value: name}, {Key: "indexes", Value: indexes}}); err == nil {
-				c.primary.Ascend(func(it btree.Item) bool {
-					err = writeDoc(bson.D{{Key: "coll", Value: name}, {Key: "doc", Value: it.Value.(bson.D)}})
-					return err == nil
-				})
-			}
-			c.mu.RUnlock()
-			if err != nil {
+	dump:
+		for _, d := range dumps {
+			if err = writeDoc(bson.D{{Key: "coll", Value: d.name}, {Key: "indexes", Value: d.indexes}}); err != nil {
 				break
+			}
+			for _, doc := range d.docs {
+				if hook := s.compactDocHook; hook != nil {
+					hook()
+				}
+				if err = writeDoc(bson.D{{Key: "coll", Value: d.name}, {Key: "doc", Value: doc}}); err != nil {
+					break dump
+				}
 			}
 		}
 	}
@@ -105,15 +136,37 @@ func (s *Store) Compact() error {
 		os.Remove(tmp)
 		return fmt.Errorf("docstore: write snapshot: %w", err)
 	}
+	// Crash-atomic install: rename, then fsync the directory so the rename
+	// itself survives a power cut. A crash before this point leaves the old
+	// snapshot (and a stray .tmp recovery ignores); never a torn new one.
 	if err := os.Rename(tmp, filepath.Join(s.opts.Dir, snapshotFile)); err != nil {
 		return fmt.Errorf("docstore: install snapshot: %w", err)
 	}
+	if err := fsyncDir(s.opts.Dir); err != nil {
+		return fmt.Errorf("docstore: sync snapshot dir: %w", err)
+	}
 	return s.log.TruncateBefore(upto)
+}
+
+// fsyncDir makes a directory entry change (rename) durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // loadSnapshot restores collections from the snapshot file, if present, and
 // returns the LSN from which the WAL must replay.
 func (s *Store) loadSnapshot() (wal.LSN, error) {
+	// A stray temp file is a snapshot whose write was interrupted; it is
+	// never loaded, only removed.
+	os.Remove(filepath.Join(s.opts.Dir, snapshotFile+".tmp"))
 	path := filepath.Join(s.opts.Dir, snapshotFile)
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
@@ -169,7 +222,7 @@ func (s *Store) loadSnapshot() (wal.LSN, error) {
 			if !isDoc {
 				return 0, fmt.Errorf("docstore: snapshot doc is %T", docVal)
 			}
-			if err := c.applyInsert(doc); err != nil {
+			if err := c.applyInsert(doc, 0); err != nil {
 				return 0, err
 			}
 			continue
@@ -183,7 +236,7 @@ func (s *Store) loadSnapshot() (wal.LSN, error) {
 				}
 				uniqueVal, _ := spec.Get("unique")
 				unique, _ := uniqueVal.(bool)
-				if err := c.applyEnsureIndex(spec.StringOr("field", ""), unique); err != nil {
+				if err := c.applyEnsureIndex(spec.StringOr("field", ""), unique, 0); err != nil {
 					return 0, err
 				}
 			}

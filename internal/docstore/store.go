@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 
 	"mystore/internal/bson"
+	"mystore/internal/lsm"
 	"mystore/internal/trace"
 	"mystore/internal/wal"
 )
@@ -46,6 +47,19 @@ type Options struct {
 	// ablation bench; the default path keeps only append+apply under
 	// writeMu.
 	SerializeWritePath bool
+	// Engine selects the storage engine: "map" (default — every decoded
+	// document in memory, snapshot + full WAL replay on restart) or "lsm"
+	// (documents in log-structured SSTables with a memtable in front; the
+	// WAL is checkpointed on every memtable flush so restart replays only
+	// the unflushed tail, and resident memory is bounded by the memtable
+	// and block-cache budgets rather than the dataset). "lsm" requires Dir.
+	Engine string
+	// Storage tunes the lsm engine (memtable budget, block cache size,
+	// compaction bandwidth, ...). Ignored by the map engine.
+	Storage lsm.Tuning
+	// Tracer, when non-nil, records the lsm engine's background spans
+	// (memtable.flush, compaction.run).
+	Tracer *trace.Collector
 }
 
 // Op is one logical mutation, as written to the WAL and shipped to slaves.
@@ -75,9 +89,25 @@ type Store struct {
 	mu      sync.RWMutex
 	opts    Options
 	log     *wal.Log
+	engine  *lsm.Engine // nil for the map engine
 	colls   map[string]*Collection
 	seq     uint64 // guarded by writeMu
 	closed  bool
+
+	// recovering is true only during single-threaded open (snapshot load +
+	// WAL replay) and relaxes apply semantics to blind writes: insert of an
+	// existing document overwrites, update of a missing one inserts. The
+	// fuzzy snapshot and the lsm checkpoint both allow the recovery baseline
+	// to run slightly ahead of the replay position; relaxed replay makes
+	// re-application converge instead of erroring.
+	recovering bool
+
+	replayedOps atomic.Uint64 // WAL records re-applied by the last open
+
+	// compactDocHook, when non-nil, runs once per document during Compact's
+	// encode phase, outside every lock. Tests use it to prove concurrent
+	// writers are not blocked for the dump duration.
+	compactDocHook func()
 
 	// Replication publish queue: ops are delivered to onOp in seq order,
 	// off writeMu, and synchronously (mutate returns only after its own op
@@ -91,27 +121,72 @@ type Store struct {
 	statIndexHit atomic.Uint64
 }
 
-// Open opens a store. With a Dir it loads the latest snapshot (if any) and
-// replays the WAL; without one it is purely in-memory.
+// Open opens a store. With a Dir, the map engine loads the latest snapshot
+// (if any) and replays the WAL from it; the lsm engine opens its table
+// store and replays only the WAL tail past the last flush checkpoint.
+// Without a Dir the store is purely in-memory.
 func Open(opts Options) (*Store, error) {
 	s := &Store{opts: opts, colls: make(map[string]*Collection), pubNext: 1}
 	s.pubCond = sync.NewCond(&s.pubMu)
 	if opts.Dir == "" {
+		if opts.Engine == "lsm" {
+			return nil, errors.New("docstore: lsm engine requires Dir")
+		}
 		return s, nil
 	}
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("docstore: create dir: %w", err)
 	}
-	from, err := s.loadSnapshot()
-	if err != nil {
-		return nil, err
+	var from wal.LSN
+	if opts.Engine == "lsm" {
+		log, err := wal.Open(filepath.Join(opts.Dir, "wal"), opts.WAL)
+		if err != nil {
+			return nil, err
+		}
+		s.log = log
+		eng, err := lsm.Open(lsm.Options{
+			Dir:    filepath.Join(opts.Dir, "tables"),
+			Tuning: opts.Storage,
+			Tracer: opts.Tracer,
+			// After every flush the engine's manifest is the durable root for
+			// everything below the checkpoint; the WAL tail before it is dead
+			// weight and can go.
+			Checkpoint: func(lsn uint64) { log.TruncateBefore(wal.LSN(lsn)) },
+		})
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		s.engine = eng
+		defs, err := s.loadLSMMeta()
+		if err == nil {
+			for _, def := range defs {
+				c := s.C(def.coll)
+				c.mu.Lock()
+				c.buildIndexLocked(def.field, def.unique)
+				c.mu.Unlock()
+			}
+		}
+		if err != nil {
+			eng.Crash()
+			log.Close()
+			return nil, err
+		}
+		from = wal.LSN(eng.CheckpointLSN())
+	} else {
+		var err error
+		from, err = s.loadSnapshot()
+		if err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(filepath.Join(opts.Dir, "wal"), opts.WAL)
+		if err != nil {
+			return nil, err
+		}
+		s.log = log
 	}
-	log, err := wal.Open(filepath.Join(opts.Dir, "wal"), opts.WAL)
-	if err != nil {
-		return nil, err
-	}
-	s.log = log
-	err = log.Replay(from, func(_ wal.LSN, rec []byte) error {
+	s.recovering = true
+	err := s.log.Replay(from, func(lsn wal.LSN, rec []byte) error {
 		doc, err := bson.Unmarshal(rec)
 		if err != nil {
 			return fmt.Errorf("docstore: corrupt WAL record: %w", err)
@@ -120,14 +195,27 @@ func Open(opts Options) (*Store, error) {
 		if err != nil {
 			return err
 		}
-		return s.applyLocked(op)
+		s.replayedOps.Add(1)
+		return s.applyLocked(op, uint64(lsn))
 	})
+	s.recovering = false
 	if err != nil {
-		log.Close()
+		if s.engine != nil {
+			s.engine.Crash()
+		}
+		s.log.Close()
 		return nil, err
 	}
 	return s, nil
 }
+
+// Engine exposes the lsm engine for metrics and tests; nil when the store
+// runs the map engine.
+func (s *Store) Engine() *lsm.Engine { return s.engine }
+
+// ReplayedOps reports how many WAL records the last Open re-applied — the
+// restart-cost measure the storage ablation compares across engines.
+func (s *Store) ReplayedOps() uint64 { return s.replayedOps.Load() }
 
 // SetReplicationHook installs fn to receive every mutation in apply order.
 // Pass nil to remove. The hook runs synchronously inside the write path:
@@ -239,7 +327,7 @@ func (s *Store) mutateCtx(ctx context.Context, op Op) error {
 			return err
 		}
 	}
-	if err := s.applyLocked(op); err != nil {
+	if err := s.applyLocked(op, uint64(lsn)); err != nil {
 		// checkOp guarantees this cannot happen; if it does, the in-memory
 		// state and WAL have diverged and continuing would corrupt data.
 		panic(fmt.Sprintf("docstore: apply after successful check failed: %v", err))
@@ -290,16 +378,17 @@ func (s *Store) commitSerialized(op Op) error {
 	if err := s.checkOp(op); err != nil {
 		return err
 	}
+	var lsn wal.LSN
 	if s.log != nil {
 		rec, err := bson.Marshal(encodeOp(op))
 		if err != nil {
 			return err
 		}
-		if _, err := s.log.Append(rec); err != nil {
+		if lsn, err = s.log.Append(rec); err != nil {
 			return err
 		}
 	}
-	if err := s.applyLocked(op); err != nil {
+	if err := s.applyLocked(op, uint64(lsn)); err != nil {
 		// checkOp guarantees this cannot happen; if it does, the in-memory
 		// state and WAL have diverged and continuing would corrupt data.
 		panic(fmt.Sprintf("docstore: apply after successful check failed: %v", err))
@@ -343,7 +432,7 @@ func (s *Store) ApplyReplicated(op Op) error {
 			return err
 		}
 	}
-	err := s.applyLocked(op)
+	err := s.applyLocked(op, uint64(lsn))
 	s.writeMu.Unlock()
 	if err == nil && s.log != nil {
 		err = s.log.WaitDurable(lsn)
@@ -368,19 +457,25 @@ func (s *Store) checkOp(op Op) error {
 	}
 }
 
-// applyLocked mutates in-memory state. Caller holds writeMu (or is in
-// single-threaded recovery).
-func (s *Store) applyLocked(op Op) error {
+// applyLocked mutates store state; lsn is the op's WAL position (0 for an
+// in-memory store), threaded to the storage engine for checkpointing.
+// Caller holds writeMu (or is in single-threaded recovery).
+func (s *Store) applyLocked(op Op, lsn uint64) error {
 	switch op.Kind {
 	case "insert":
-		return s.C(op.Coll).applyInsert(op.Doc)
+		return s.C(op.Coll).applyInsert(op.Doc, lsn)
 	case "update":
-		return s.C(op.Coll).applyUpdate(op.Doc)
+		return s.C(op.Coll).applyUpdate(op.Doc, lsn)
 	case "delete":
-		return s.C(op.Coll).applyDelete(op.Id)
+		return s.C(op.Coll).applyDelete(op.Id, lsn)
 	case "index":
-		return s.C(op.Coll).applyEnsureIndex(op.Field, op.Unique)
+		return s.C(op.Coll).applyEnsureIndex(op.Field, op.Unique, lsn)
 	case "dropcoll":
+		if s.engine != nil {
+			if err := s.dropCollLSM(op.Coll, lsn); err != nil {
+				return err
+			}
+		}
 		s.mu.Lock()
 		delete(s.colls, op.Coll)
 		s.mu.Unlock()
@@ -399,7 +494,10 @@ type Stats struct {
 	Scans       uint64
 }
 
-// Stats returns current aggregate statistics.
+// Stats returns current aggregate statistics. With the lsm engine,
+// DataBytes reports on-disk table bytes plus the memtable (per-collection
+// running deltas reset at restart), and the first call after a restart pays
+// one discovery scan per collection to learn document counts.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -409,6 +507,10 @@ func (s *Store) Stats() Stats {
 		st.Documents += c.primary.Len()
 		st.DataBytes += c.dataBytes
 		c.mu.RUnlock()
+	}
+	if s.engine != nil {
+		est := s.engine.Stats()
+		st.DataBytes = est.TableBytes + est.MemtableBytes
 	}
 	return st
 }
@@ -428,7 +530,8 @@ func (s *Store) WALStats() (wal.SyncStats, bool) {
 	return s.log.Stats(), true
 }
 
-// Close flushes and closes the store.
+// Close flushes and closes the store. With the lsm engine, the final
+// memtable flush checkpoints the WAL, so the next open replays nothing.
 func (s *Store) Close() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
@@ -438,10 +541,40 @@ func (s *Store) Close() error {
 		return nil
 	}
 	s.closed = true
-	if s.log != nil {
-		return s.log.Close()
+	var err error
+	if s.engine != nil {
+		err = s.engine.Close()
 	}
-	return nil
+	if s.log != nil {
+		if cerr := s.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Crash abandons the store as an abrupt process death (kill -9) would: no
+// flush, no fsync, file handles dropped, any in-flight table write left
+// torn on disk. In-flight writers get errors instead of durability; a
+// subsequent Open must recover from exactly what a hard crash leaves. The
+// chaos harness uses it to exercise recovery invariants in-process.
+func (s *Store) Crash() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// Order matters: crash the engine first so stalled writers unblock with
+	// the engine refusing work, then abandon the log so durability waiters
+	// fail out rather than fsync.
+	if s.engine != nil {
+		s.engine.Crash()
+	}
+	if s.log != nil {
+		s.log.Abandon()
+	}
 }
 
 func encodeOp(op Op) bson.D {

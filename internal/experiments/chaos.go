@@ -50,12 +50,18 @@ type ChaosResult struct {
 	// streamed transfers must never replace a record with an older version.
 	// Every node's apply path counts such regressions; the sum must stay 0.
 	VersionRegressions int64
+	// TornTables is invariant 6: nodes run the lsm engine with a memtable
+	// small enough that flushes and compactions are continuously in flight,
+	// and crashes are kill -9 (in-flight table writes abandoned torn on
+	// disk). After heal, every node's table set is checksum-scrubbed: a
+	// recovery that loaded a torn or corrupt table counts here. Must be 0.
+	TornTables int64
 }
 
 // Violations totals the invariant breaches; zero means the soak passed.
 func (r ChaosResult) Violations() int64 {
 	return r.LostWrites + r.ValueViolations + int64(r.HintsAtEnd) + r.DeadlineViolations +
-		r.ReadQuorumViolations + r.VersionRegressions
+		r.ReadQuorumViolations + r.VersionRegressions + r.TornTables
 }
 
 // String summarizes the run.
@@ -74,6 +80,7 @@ func (r ChaosResult) String() string {
 	fmt.Fprintf(&b, "  invariant 4 — reads settled below R quorum:    %d (%d reads hedged)\n",
 		r.ReadQuorumViolations, r.HedgedReads)
 	fmt.Fprintf(&b, "  invariant 5 — repair regressed record versions: %d\n", r.VersionRegressions)
+	fmt.Fprintf(&b, "  invariant 6 — torn/corrupt tables after kill -9: %d\n", r.TornTables)
 	if r.Violations() == 0 {
 		fmt.Fprintf(&b, "  PASS: no acked write was lost\n")
 	} else {
@@ -93,12 +100,17 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 	result := ChaosResult{Duration: 4 * scale.StepDuration, FaultsFired: map[faults.Kind]int64{}}
 	opTimeout := 4 * chaosCallTimeout
 
+	// Nodes run the lsm engine with a deliberately tiny memtable, so the
+	// soak's write load keeps flushes and background compactions in flight —
+	// which is exactly when the kill -9 crashes below land.
 	cl, err := mystore.StartCluster(mystore.ClusterOptions{
 		Nodes:              5,
 		DataDir:            dir,
 		Durable:            true,
 		ReplicaCallTimeout: chaosCallTimeout,
 		GossipInterval:     100 * time.Millisecond,
+		StorageEngine:      "lsm",
+		MemtableBytes:      32 << 10,
 	})
 	if err != nil {
 		return result, err
@@ -223,16 +235,19 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 		}(w)
 	}
 
-	// The fault schedule: two cycles of crash → WAL-recovery restart →
-	// partition → heal, spread over the soak window. Node 0 is the gossip
-	// seed and is never crashed (the paper's deployment protects its seed
-	// the same way).
+	// The fault schedule: two cycles of kill -9 → WAL-recovery restart →
+	// partition → heal, spread over the soak window. KillNode abandons the
+	// victim's store mid-flight: no flush, no fsync, any in-progress table
+	// write left torn on disk — recovery must come from the WAL tail past
+	// the last flush checkpoint plus whatever tables committed. Node 0 is
+	// the gossip seed and is never crashed (the paper's deployment protects
+	// its seed the same way).
 	rng := rand.New(rand.NewSource(scale.Seed * 31))
 	step := result.Duration / 8
 	for cycle := 0; cycle < 2; cycle++ {
 		victim := 1 + rng.Intn(4)
-		if err := cl.CrashNode(victim); err != nil {
-			return result, fmt.Errorf("chaos: crash node %d: %w", victim, err)
+		if err := cl.KillNode(victim); err != nil {
+			return result, fmt.Errorf("chaos: kill node %d: %w", victim, err)
 		}
 		time.Sleep(step)
 		if _, err := cl.RestartNodeFresh(victim, wireNode); err != nil {
@@ -326,6 +341,16 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 		settle()
 	}
 	result.LostWrites = int64(len(missing))
+
+	// Invariant 6: every surviving table passes a full checksum scrub — a
+	// torn flush or compaction output was never installed.
+	for _, node := range cl.Nodes() {
+		if eng := node.Store().Engine(); eng != nil {
+			if err := eng.Scrub(); err != nil {
+				result.TornTables++
+			}
+		}
+	}
 
 	for _, node := range cl.Nodes() {
 		result.BreakersOpened += node.Breakers().Stats().Opened

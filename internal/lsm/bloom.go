@@ -1,0 +1,94 @@
+package lsm
+
+// Bloom filter over the keys of one SSTable. A negative answer proves the
+// key is absent, so point reads skip the table's index and blocks entirely —
+// the short-circuit that keeps a leveled store's read amplification near one
+// table probe per read. Double hashing (Kirsch-Mitzenmacher) derives the k
+// probe positions from one 64-bit FNV-1a pass over the key, so filter
+// queries cost one hash regardless of k.
+
+const (
+	// DefaultBloomBitsPerKey is ~1% false positives at k=7.
+	DefaultBloomBitsPerKey = 10
+)
+
+// bloomFilter is an immutable bit array plus its probe count. The on-disk
+// encoding is the bit array followed by one byte holding k.
+type bloomFilter struct {
+	bits []byte
+	k    int
+}
+
+// bloomHash is 64-bit FNV-1a; the two 32-bit halves seed double hashing.
+func bloomHash(key []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+// buildBloom returns the encoded filter for keys at bitsPerKey.
+func buildBloom(hashes []uint64, bitsPerKey int) []byte {
+	if bitsPerKey <= 0 {
+		bitsPerKey = DefaultBloomBitsPerKey
+	}
+	// k = bitsPerKey * ln2, clamped to a sane probe count.
+	k := bitsPerKey * 69 / 100
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	nBits := len(hashes) * bitsPerKey
+	if nBits < 64 {
+		nBits = 64
+	}
+	nBytes := (nBits + 7) / 8
+	nBits = nBytes * 8
+	out := make([]byte, nBytes+1)
+	out[nBytes] = byte(k)
+	for _, h := range hashes {
+		delta := h>>33 | h<<31
+		for i := 0; i < k; i++ {
+			pos := h % uint64(nBits)
+			out[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return out
+}
+
+// parseBloom wraps an encoded filter; a malformed buffer yields a filter
+// that admits everything (safe: blooms are advisory).
+func parseBloom(enc []byte) bloomFilter {
+	if len(enc) < 2 {
+		return bloomFilter{}
+	}
+	return bloomFilter{bits: enc[:len(enc)-1], k: int(enc[len(enc)-1])}
+}
+
+// mayContain reports whether key was possibly added. An empty filter says
+// yes to everything.
+func (f bloomFilter) mayContain(key []byte) bool {
+	if len(f.bits) == 0 || f.k == 0 || f.k > 30 {
+		return true
+	}
+	nBits := uint64(len(f.bits)) * 8
+	h := bloomHash(key)
+	delta := h>>33 | h<<31
+	for i := 0; i < f.k; i++ {
+		pos := h % nBits
+		if f.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}

@@ -1,0 +1,244 @@
+package lsm
+
+import (
+	"bytes"
+
+	"mystore/internal/cache"
+)
+
+// Iterators. Every source in the store — the mutable memtable (snapshotted
+// at iterator creation), frozen memtables, and SSTables — presents the same
+// cursor shape; mergeIter folds any number of them into one ascending
+// stream where the newest source wins each key. Tombstones flow through the
+// merge (compaction needs them); user-facing scans skip them.
+
+type iterator interface {
+	// next advances to the following entry, reporting whether one exists.
+	next() bool
+	key() []byte
+	val() []byte
+	tombstone() bool
+}
+
+// kvEntry is one materialized entry.
+type kvEntry struct {
+	k    []byte
+	v    []byte
+	tomb bool
+}
+
+// sliceIter iterates a materialized entry slice (memtable range snapshots).
+type sliceIter struct {
+	entries []kvEntry
+	pos     int
+}
+
+// newMemIter snapshots m's entries in [lo, hi) into a slice. Call only on a
+// frozen memtable or while holding the engine's version lock: the copy is
+// what makes the iterator safe once the lock is released.
+func newMemIter(m *memtable, lo, hi []byte) *sliceIter {
+	it := &sliceIter{pos: -1}
+	m.ascendRange(lo, hi, func(key []byte, e memEntry) bool {
+		it.entries = append(it.entries, kvEntry{k: key, v: e.val, tomb: e.tombstone})
+		return true
+	})
+	return it
+}
+
+func (it *sliceIter) next() bool {
+	it.pos++
+	return it.pos < len(it.entries)
+}
+func (it *sliceIter) key() []byte     { return it.entries[it.pos].k }
+func (it *sliceIter) val() []byte     { return it.entries[it.pos].v }
+func (it *sliceIter) tombstone() bool { return it.entries[it.pos].tomb }
+
+// tableIter streams one SSTable's entries in [lo, hi), reading blocks
+// through the table's reader (cache optional: scans and compactions pass
+// nil so bulk reads do not evict the point-read working set).
+type tableIter struct {
+	t      *table
+	bc     *cache.Server
+	st     *engineCounters
+	lo, hi []byte
+
+	blockPos int
+	blk      []byte
+	pos      int
+	curK     []byte
+	curV     []byte
+	curTomb  bool
+	err      error
+	started  bool
+}
+
+func newTableIter(t *table, lo, hi []byte, bc *cache.Server, st *engineCounters) *tableIter {
+	return &tableIter{t: t, bc: bc, st: st, lo: lo, hi: hi}
+}
+
+func (it *tableIter) next() bool {
+	if it.err != nil {
+		return false
+	}
+	if !it.started {
+		it.started = true
+		it.blockPos = 0
+		if it.lo != nil {
+			if b := it.t.blockFor(it.lo); b > 0 {
+				it.blockPos = b
+			}
+		}
+		if !it.loadBlock() {
+			return false
+		}
+	}
+	for {
+		for it.pos < len(it.blk) {
+			k, v, tomb, n, err := parseEntry(it.blk[it.pos:])
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.pos += n
+			if it.lo != nil && bytes.Compare(k, it.lo) < 0 {
+				continue
+			}
+			if it.hi != nil && bytes.Compare(k, it.hi) >= 0 {
+				return false
+			}
+			it.curK, it.curV, it.curTomb = k, v, tomb
+			return true
+		}
+		it.blockPos++
+		if !it.loadBlock() {
+			return false
+		}
+	}
+}
+
+func (it *tableIter) loadBlock() bool {
+	if it.blockPos >= len(it.t.index) {
+		return false
+	}
+	blk, err := it.t.block(it.blockPos, it.bc, it.st)
+	if err != nil {
+		it.err = err
+		return false
+	}
+	it.blk, it.pos = blk, 0
+	return true
+}
+
+func (it *tableIter) key() []byte     { return it.curK }
+func (it *tableIter) val() []byte     { return it.curV }
+func (it *tableIter) tombstone() bool { return it.curTomb }
+
+// levelIter concatenates the non-overlapping, key-ordered tables of one
+// level (L1+), opening each table's iterator lazily.
+type levelIter struct {
+	tables []*table
+	bc     *cache.Server
+	st     *engineCounters
+	lo, hi []byte
+
+	ti  *tableIter
+	idx int
+}
+
+func newLevelIter(tables []*table, lo, hi []byte, bc *cache.Server, st *engineCounters) *levelIter {
+	return &levelIter{tables: tables, bc: bc, st: st, lo: lo, hi: hi}
+}
+
+func (it *levelIter) next() bool {
+	for {
+		if it.ti != nil && it.ti.next() {
+			return true
+		}
+		for {
+			if it.idx >= len(it.tables) {
+				return false
+			}
+			t := it.tables[it.idx]
+			it.idx++
+			if it.lo != nil && bytes.Compare(t.maxKey, it.lo) < 0 {
+				continue
+			}
+			if it.hi != nil && bytes.Compare(t.minKey, it.hi) >= 0 {
+				return false
+			}
+			it.ti = newTableIter(t, it.lo, it.hi, it.bc, it.st)
+			break
+		}
+	}
+}
+
+func (it *levelIter) key() []byte     { return it.ti.key() }
+func (it *levelIter) val() []byte     { return it.ti.val() }
+func (it *levelIter) tombstone() bool { return it.ti.tombstone() }
+
+// mergeIter folds sources into one ascending stream. Sources are ordered
+// newest first; when several hold the same key, the newest version is
+// yielded and the older ones are skipped.
+type mergeIter struct {
+	srcs  []iterator
+	valid []bool
+
+	curK    []byte
+	curV    []byte
+	curTomb bool
+}
+
+func newMergeIter(srcs []iterator) *mergeIter {
+	m := &mergeIter{srcs: srcs, valid: make([]bool, len(srcs))}
+	for i, s := range srcs {
+		m.valid[i] = s.next()
+	}
+	return m
+}
+
+func (m *mergeIter) next() bool {
+	var minK []byte
+	winner := -1
+	for i, s := range m.srcs {
+		if !m.valid[i] {
+			continue
+		}
+		if winner == -1 || bytes.Compare(s.key(), minK) < 0 {
+			minK, winner = s.key(), i
+		}
+	}
+	if winner == -1 {
+		return false
+	}
+	w := m.srcs[winner]
+	m.curK, m.curV, m.curTomb = w.key(), w.val(), w.tombstone()
+	// Advance the winner and every older source positioned on the same key.
+	for i := winner; i < len(m.srcs); i++ {
+		if m.valid[i] && bytes.Equal(m.srcs[i].key(), minK) {
+			m.valid[i] = m.srcs[i].next()
+		}
+	}
+	return true
+}
+
+func (m *mergeIter) key() []byte     { return m.curK }
+func (m *mergeIter) val() []byte     { return m.curV }
+func (m *mergeIter) tombstone() bool { return m.curTomb }
+
+// iterErr surfaces the first read error any table source hit (merge sources
+// silently end on error; the engine re-checks after the scan).
+func iterErr(srcs []iterator) error {
+	for _, s := range srcs {
+		switch it := s.(type) {
+		case *tableIter:
+			if it.err != nil {
+				return it.err
+			}
+		case *levelIter:
+			if it.ti != nil && it.ti.err != nil {
+				return it.ti.err
+			}
+		}
+	}
+	return nil
+}

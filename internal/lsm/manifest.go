@@ -1,0 +1,108 @@
+package lsm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The manifest is the engine's durable root: which SSTable files are live,
+// their level layout (L0 in newest-first order), the next file number, and
+// the WAL checkpoint — the LSN from which replay must resume after a
+// restart. It is rewritten crash-atomically (temp, fsync, rename, directory
+// fsync) after every flush and compaction; any .sst or .tmp file the current
+// manifest does not reference is garbage from a torn flush or an
+// uncommitted compaction and is deleted at open, which is what guarantees a
+// torn table is never loaded.
+
+const manifestFile = "MANIFEST"
+
+type manifest struct {
+	NextFile   uint64     `json:"next_file"`
+	Checkpoint uint64     `json:"checkpoint_lsn"`
+	Levels     [][]uint64 `json:"levels"`
+}
+
+func writeManifest(dir string, m manifest) error {
+	enc, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestFile+tmpSuffix)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(enc)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("lsm: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestFile)); err != nil {
+		return fmt.Errorf("lsm: install manifest: %w", err)
+	}
+	return fsyncDir(dir)
+}
+
+// readManifest loads the manifest, or returns an empty one for a fresh
+// directory.
+func readManifest(dir string) (manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{NextFile: 1, Checkpoint: 1}, nil
+	}
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return manifest{}, fmt.Errorf("lsm: corrupt manifest: %w", err)
+	}
+	if m.NextFile == 0 {
+		m.NextFile = 1
+	}
+	if m.Checkpoint == 0 {
+		m.Checkpoint = 1
+	}
+	return m, nil
+}
+
+// removeUnreferenced deletes table and temp files the manifest does not
+// claim: torn flushes (.tmp) and tables orphaned by a crash between table
+// creation and manifest commit.
+func removeUnreferenced(dir string, m manifest) error {
+	live := map[uint64]bool{}
+	for _, lvl := range m.Levels {
+		for _, num := range lvl {
+			live[num] = true
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, tmpSuffix):
+			os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, tableSuffix):
+			numStr := strings.TrimSuffix(name, tableSuffix)
+			num, perr := strconv.ParseUint(numStr, 10, 64)
+			if perr != nil || !live[num] {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+	return fsyncDir(dir)
+}

@@ -1,0 +1,67 @@
+package lsm
+
+import (
+	"mystore/internal/btree"
+)
+
+// memtable is the mutable in-memory head of the log-structured store: a
+// sorted map from key to value-or-tombstone. Writers insert under the
+// engine's version lock; once the table crosses the engine's byte budget it
+// is rotated into the immutable flush queue and never written again, so the
+// flusher and iterators read it without locks.
+type memtable struct {
+	tree   *btree.Tree // key -> memEntry
+	bytes  int64       // approximate payload footprint
+	maxLSN uint64      // highest WAL lsn applied to this table
+}
+
+// memEntry is one memtable value. A tombstone records a deletion that must
+// mask older SSTable versions until compaction drops both.
+type memEntry struct {
+	val       []byte
+	tombstone bool
+}
+
+func newMemtable() *memtable {
+	return &memtable{tree: btree.New()}
+}
+
+// set records key -> val (or a tombstone) and the op's WAL lsn.
+func (m *memtable) set(key, val []byte, tombstone bool, lsn uint64) {
+	if old, ok := m.tree.Get(key); ok {
+		m.bytes -= int64(len(old.(memEntry).val))
+	} else {
+		m.bytes += int64(len(key)) + memEntryOverhead
+	}
+	m.bytes += int64(len(val))
+	m.tree.Set(key, memEntry{val: val, tombstone: tombstone})
+	if lsn > m.maxLSN {
+		m.maxLSN = lsn
+	}
+}
+
+// memEntryOverhead approximates the per-entry bookkeeping cost, so the byte
+// budget tracks real memory growth even for small keys and values.
+const memEntryOverhead = 64
+
+// get returns the entry for key, if present (a tombstone counts as present:
+// it answers "deleted", stopping the search at this table).
+func (m *memtable) get(key []byte) (memEntry, bool) {
+	v, ok := m.tree.Get(key)
+	if !ok {
+		return memEntry{}, false
+	}
+	return v.(memEntry), true
+}
+
+// len returns the entry count (tombstones included).
+func (m *memtable) len() int { return m.tree.Len() }
+
+// ascendRange walks entries with lo <= key < hi in key order; nil bounds are
+// open. Only safe on a frozen (immutable) memtable or under the engine's
+// version lock.
+func (m *memtable) ascendRange(lo, hi []byte, fn func(key []byte, e memEntry) bool) {
+	m.tree.AscendRange(lo, hi, func(it btree.Item) bool {
+		return fn(it.Key, it.Value.(memEntry))
+	})
+}

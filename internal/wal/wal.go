@@ -603,6 +603,28 @@ func (l *Log) Close() error {
 	return l.file.Close()
 }
 
+// Abandon closes the log as an abrupt process death would: the active
+// segment's file handle is dropped WITHOUT a final fsync, so any appended-
+// but-unsynced tail is lost exactly as kill -9 would lose it. Durability
+// waiters are released with an error instead of a durable ack. The chaos
+// harness uses it to simulate hard crashes in-process.
+func (l *Log) Abandon() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	l.file.Close() // deliberately no Sync
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	if l.syncErr == nil {
+		l.syncErr = ErrClosed
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+}
+
 // SyncStats snapshots the commit counters. FsyncsPerAppend =
 // Fsyncs/Appends is the group-commit headline number; BatchedRecords /
 // Batches gives the mean records per coalesced fsync.

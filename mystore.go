@@ -30,6 +30,7 @@ import (
 	"mystore/internal/bson"
 	"mystore/internal/cluster"
 	"mystore/internal/docstore"
+	"mystore/internal/lsm"
 	"mystore/internal/metrics"
 	"mystore/internal/nwr"
 	"mystore/internal/trace"
@@ -165,6 +166,20 @@ type ClusterOptions struct {
 	RepairBandwidth int64
 	// StreamBatchBytes bounds one streamed batch (default 256 KiB).
 	StreamBatchBytes int
+	// StorageEngine selects each node's local storage engine: "map"
+	// (default — every decoded document held in memory, full WAL replay on
+	// restart) or "lsm" (documents in log-structured SSTables behind a
+	// memtable; resident memory is bounded by the memtable and block-cache
+	// budgets, and the WAL is checkpointed on every flush so restart
+	// replays only the unflushed tail). "lsm" requires DataDir.
+	StorageEngine string
+	// MemtableBytes sizes the lsm write buffer per node (default 4 MiB).
+	MemtableBytes int64
+	// BlockCacheBytes sizes the lsm block cache per node (default 32 MiB).
+	BlockCacheBytes int64
+	// CompactionBandwidth caps lsm background compaction I/O per node, in
+	// bytes/sec (token bucket; 0 means unthrottled).
+	CompactionBandwidth int64
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -281,13 +296,19 @@ func (c *Cluster) nodeConfig(i int) cluster.Config {
 		DisableStreamTransfer: c.opts.DisableStreamTransfer,
 		RepairBandwidth:       c.opts.RepairBandwidth,
 		StreamBatchBytes:      c.opts.StreamBatchBytes,
-		StoreDir: dir,
+		StoreDir:              dir,
 		Store: docstore.Options{
 			WAL: wal.Options{
 				SyncEveryAppend: c.opts.Durable,
 				GroupCommit:     wal.GroupCommit{Disable: c.opts.DisableGroupCommit},
 			},
 			SerializeWritePath: c.opts.SerializeWritePath,
+			Engine:             c.opts.StorageEngine,
+			Storage: lsm.Tuning{
+				MemtableBytes:       c.opts.MemtableBytes,
+				BlockCacheBytes:     c.opts.BlockCacheBytes,
+				CompactionBandwidth: c.opts.CompactionBandwidth,
+			},
 		},
 		GossipInterval: c.opts.GossipInterval,
 	}
@@ -431,6 +452,21 @@ func (c *Cluster) CrashNode(i int) error {
 	return nodes[i].Close()
 }
 
+// KillNode simulates a kill -9 of node i: the process vanishes mid-flight.
+// Unlike CrashNode, nothing is closed cleanly — in-flight memtable flushes
+// and compactions are abandoned torn on disk and no fsync happens on the
+// way down. The store directory is left exactly as a hard crash leaves it;
+// RestartNodeFresh must recover from that alone.
+func (c *Cluster) KillNode(i int) error {
+	eps, nodes := c.members()
+	if i < 0 || i >= len(nodes) {
+		return fmt.Errorf("mystore: no node %d", i)
+	}
+	eps[i].Close()
+	nodes[i].Kill()
+	return nil
+}
+
 // RestartNodeFresh boots a brand-new node process in place of a crashed
 // node i: same address, same store directory. State is rebuilt by WAL
 // replay (plus snapshot load) from the directory, then gossip re-admits the
@@ -503,6 +539,16 @@ type NodeOptions struct {
 	DataDir string
 	// Durable fsyncs every mutation before acknowledging (group-committed).
 	Durable bool
+	// StorageEngine selects the local engine: "map" (default) or "lsm"
+	// (requires DataDir). See ClusterOptions.StorageEngine.
+	StorageEngine string
+	// MemtableBytes sizes the lsm write buffer (default 4 MiB).
+	MemtableBytes int64
+	// BlockCacheBytes sizes the lsm block cache (default 32 MiB).
+	BlockCacheBytes int64
+	// CompactionBandwidth caps lsm compaction I/O in bytes/sec (0 =
+	// unthrottled).
+	CompactionBandwidth int64
 	// GossipInterval defaults to 1s.
 	GossipInterval time.Duration
 	// Tracer, when non-nil, is the node-local trace collector incoming
@@ -527,11 +573,19 @@ func ListenNode(ctx context.Context, addr string, opts NodeOptions) (*Node, erro
 		opts.R = 1
 	}
 	node, err := cluster.NewNode(tr, cluster.Config{
-		Seeds:          opts.Seeds,
-		Weight:         opts.Weight,
-		NWR:            nwr.Config{N: opts.N, W: opts.W, R: opts.R},
-		StoreDir:       opts.DataDir,
-		Store:          docstore.Options{WAL: wal.Options{SyncEveryAppend: opts.Durable}},
+		Seeds:    opts.Seeds,
+		Weight:   opts.Weight,
+		NWR:      nwr.Config{N: opts.N, W: opts.W, R: opts.R},
+		StoreDir: opts.DataDir,
+		Store: docstore.Options{
+			WAL:    wal.Options{SyncEveryAppend: opts.Durable},
+			Engine: opts.StorageEngine,
+			Storage: lsm.Tuning{
+				MemtableBytes:       opts.MemtableBytes,
+				BlockCacheBytes:     opts.BlockCacheBytes,
+				CompactionBandwidth: opts.CompactionBandwidth,
+			},
+		},
 		GossipInterval: opts.GossipInterval,
 		Tracer:         opts.Tracer,
 	})

@@ -23,9 +23,10 @@ import (
 
 func TestObsSmoke(t *testing.T) {
 	cl, err := mystore.StartCluster(mystore.ClusterOptions{
-		Nodes:   5,
-		DataDir: t.TempDir(),
-		Durable: true,
+		Nodes:         5,
+		DataDir:       t.TempDir(),
+		Durable:       true,
+		StorageEngine: "lsm",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -103,6 +104,17 @@ func TestObsSmoke(t *testing.T) {
 		"mystore_wal_fsyncs_total",
 		"mystore_wal_fsync_seconds",
 		"mystore_wal_batch_records",
+		"mystore_wal_replay_ops_total",
+		// lsm storage engine
+		"mystore_lsm_memtable_bytes",
+		"mystore_lsm_flushes_total",
+		"mystore_lsm_sstables",
+		"mystore_lsm_sstables_level",
+		"mystore_lsm_compaction_read_bytes_total",
+		"mystore_lsm_compaction_written_bytes_total",
+		"mystore_lsm_block_cache_hits_total",
+		"mystore_lsm_block_cache_misses_total",
+		"mystore_lsm_bloom_negatives_total",
 		// nwr
 		"mystore_nwr_puts_total",
 		"mystore_nwr_put_seconds",

@@ -9,6 +9,6 @@ set -eux
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/docstore ./internal/wal ./internal/transport ./internal/nwr \
+go test -race ./internal/docstore ./internal/lsm ./internal/wal ./internal/transport ./internal/nwr \
 	./internal/cluster ./internal/gossip ./internal/cache ./internal/dispatch ./internal/resilience \
 	./internal/merkle ./internal/metrics ./internal/trace
