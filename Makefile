@@ -1,4 +1,4 @@
-.PHONY: verify test bench bench-read bench-repair bench-storage chaos obs-smoke
+.PHONY: verify test bench bench-read bench-repair bench-storage bench-consensus chaos obs-smoke
 
 verify:
 	./verify.sh
@@ -28,6 +28,13 @@ bench-repair:
 # fixed seed and records its rows under "storage" in BENCH_results.json.
 bench-storage:
 	go run ./cmd/mystore-bench -quick -seed 42 -json BENCH_results.json storage
+
+# bench-consensus runs the A11 consensus ablation (strong consensus-
+# replicated puts vs eventual quorum puts, lease-served leader-local strong
+# reads vs quorum reads, strong-write downtime across a leader kill) at a
+# fixed seed and records its rows under "consensus" in BENCH_results.json.
+bench-consensus:
+	go run ./cmd/mystore-bench -quick -seed 42 -json BENCH_results.json consensus
 
 # chaos runs the resilience gate: randomized fault schedules, crash-restarts
 # with WAL recovery, and partitions; exits non-zero on any lost acked write,

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"mystore/internal/auth"
@@ -51,6 +52,30 @@ func (b ClusterBackend) GetMany(ctx context.Context, keys []string) (map[string]
 // Delete implements rest.Backend.
 func (b ClusterBackend) Delete(ctx context.Context, key string) error {
 	return b.Client.Delete(ctx, key)
+}
+
+// StrongPut implements rest.StrongBackend: the write commits through the
+// key's range consensus log before acknowledging.
+func (b ClusterBackend) StrongPut(ctx context.Context, key string, val []byte) error {
+	return b.Client.StrongPut(ctx, key, val)
+}
+
+// StrongGet implements rest.StrongBackend: a leader-local linearizable read.
+func (b ClusterBackend) StrongGet(ctx context.Context, key string) ([]byte, error) {
+	val, err := b.Client.StrongGet(ctx, key)
+	if errors.Is(err, cluster.ErrKeyNotFound) {
+		return nil, fmt.Errorf("%w: %q", rest.ErrNotFound, key)
+	}
+	if transport.IsRemote(err) && strings.Contains(err.Error(), "not found") {
+		return nil, fmt.Errorf("%w: %q (%v)", rest.ErrNotFound, key, err)
+	}
+	return val, err
+}
+
+// StrongDelete implements rest.StrongBackend: the tombstone replicates
+// through the range's log.
+func (b ClusterBackend) StrongDelete(ctx context.Context, key string) error {
+	return b.Client.StrongDelete(ctx, key)
 }
 
 // GatewayOptions configure a full MyStore HTTP front end.
@@ -120,3 +145,4 @@ func NewTokenDB() *auth.TokenDB { return auth.NewTokenDB(0) }
 
 var _ rest.Backend = ClusterBackend{}
 var _ rest.BatchBackend = ClusterBackend{}
+var _ rest.StrongBackend = ClusterBackend{}

@@ -17,7 +17,11 @@
 // under bandwidth-throttled repair. The storage experiment is the A10
 // study: restart cost with a checkpointed WAL vs full-history replay,
 // resident heap for a dataset ~10x the memtable budget, and foreground
-// read p99 during rate-limited background compaction. The chaos experiment
+// read p99 during rate-limited background compaction. The consensus
+// experiment is the A11 study: the write-latency cost of linearizable
+// (consensus-replicated) puts against eventual quorum puts, lease-served
+// leader-local strong reads against quorum reads, and strong-write downtime
+// across a leader kill -9. The chaos experiment
 // is the resilience gate: randomized Table 2 faults plus kill -9
 // crash-restarts and partitions over lsm-engine nodes, exiting non-zero if
 // any acked write is lost, any hint queue fails to drain, any request
@@ -56,7 +60,7 @@ func main() {
 	flag.Parse()
 
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|chaos|ablate|read_path|repair|storage|all")
+		fmt.Fprintln(os.Stderr, "usage: mystore-bench [flags] fig11|fig12|fig13|fig15|fig16|fig17|context|soak|chaos|ablate|read_path|repair|storage|consensus|all")
 		os.Exit(2)
 	}
 
@@ -130,9 +134,10 @@ func main() {
 	run("storage", func() (fmt.Stringer, error) {
 		return experiments.RunStorageAblation(scale, filepath.Join(tmp, "storage"))
 	})
+	run("consensus", func() (fmt.Stringer, error) { return experiments.RunConsensusAblation(scale) })
 
 	switch which {
-	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "chaos", "ablate", "read_path", "repair", "storage", "all":
+	case "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "context", "soak", "chaos", "ablate", "read_path", "repair", "storage", "consensus", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", which)
 		os.Exit(2)

@@ -35,6 +35,8 @@ func main() {
 	w := flag.Int("w", 2, "write quorum W")
 	r := flag.Int("r", 1, "read quorum R")
 	gossipEvery := flag.Duration("gossip", time.Second, "gossip interval")
+	strongRanges := flag.Int("strong-ranges", 0, "consensus ranges for the CP tier (0 = strong consistency off)")
+	strongElection := flag.Duration("strong-election", 0, "consensus election timeout (0 = default 150ms)")
 	flag.Parse()
 
 	var seedList []string
@@ -48,16 +50,18 @@ func main() {
 	defer stop()
 
 	node, err := mystore.ListenNode(ctx, *addr, mystore.NodeOptions{
-		Seeds:          seedList,
-		Weight:         *weight,
-		N:              *n,
-		W:              *w,
-		R:              *r,
-		DataDir:        *dataDir,
-		Durable:        *durable,
-		StorageEngine:  *engine,
-		MemtableBytes:  *memtable,
-		GossipInterval: *gossipEvery,
+		Seeds:                 seedList,
+		Weight:                *weight,
+		N:                     *n,
+		W:                     *w,
+		R:                     *r,
+		DataDir:               *dataDir,
+		Durable:               *durable,
+		StorageEngine:         *engine,
+		MemtableBytes:         *memtable,
+		StrongRanges:          *strongRanges,
+		StrongElectionTimeout: *strongElection,
+		GossipInterval:        *gossipEvery,
 	})
 	if err != nil {
 		log.Fatalf("start node: %v", err)

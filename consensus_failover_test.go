@@ -1,0 +1,127 @@
+package mystore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestStrongFailoverAcrossLeaderKill loads a consensus range's leader with
+// acked strong writes, kills it mid-lease (no goodbye — the lease is live
+// and being renewed by heartbeats when the process dies), and asserts the
+// paper's CP-tier contract: a successor takes over within 10 election
+// timeouts, and every write acked before the kill is still readable —
+// exact bytes — through the new leader.
+func TestStrongFailoverAcrossLeaderKill(t *testing.T) {
+	const et = 100 * time.Millisecond
+	c := startTestCluster(t, ClusterOptions{
+		Nodes:                 5,
+		StrongRanges:          4,
+		StrongElectionTimeout: et,
+	})
+	client, err := c.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Find a key whose range is led by a node other than 0, so the client's
+	// bootstrap contact outlives the kill.
+	var probe string
+	victim := -1
+	for k := 0; victim < 0 && k < 256; k++ {
+		probe = fmt.Sprintf("fo-%d", k)
+		if err := client.StrongPut(ctx, probe, []byte("pre")); err != nil {
+			t.Fatalf("StrongPut %s: %v", probe, err)
+		}
+		for i, node := range c.Nodes() {
+			if i > 0 && node.Consensus().LeadsKey(probe) {
+				victim = i
+			}
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no consensus range led away from node 0")
+	}
+
+	// The acked set the failover must preserve.
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		key := fmt.Sprintf("%s-acked-%02d", probe, i)
+		if err := client.StrongPut(ctx, key, []byte(key)); err != nil {
+			t.Fatalf("StrongPut %s: %v", key, err)
+		}
+	}
+
+	if err := c.KillNode(victim); err != nil {
+		t.Fatalf("KillNode(%d): %v", victim, err)
+	}
+	killed := time.Now()
+
+	// Strong writes to the dead leader's range must come back once a
+	// successor wins the election — within the contract's 10 ETs.
+	deadline := killed.Add(10 * et)
+	for {
+		opCtx, cancel := context.WithTimeout(ctx, 4*et)
+		err := client.StrongPut(opCtx, probe, []byte("post"))
+		cancel()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("strong writes still failing %v after leader kill (limit %v): %v",
+				time.Since(killed), 10*et, err)
+		}
+	}
+	if d := time.Since(killed); d > 10*et {
+		t.Fatalf("failover took %v, want < %v", d, 10*et)
+	}
+
+	// A different node now leads the range.
+	for i, node := range c.Nodes() {
+		if i == victim {
+			continue
+		}
+		if node.Consensus().LeadsKey(probe) {
+			victim = -1 // someone else leads; contract satisfied
+		}
+	}
+	if victim != -1 {
+		t.Error("no surviving node reports leading the killed leader's range")
+	}
+
+	// No acked strong write is missing or altered. The acked keys hash
+	// across every consensus range, and ranges the dead node also led run
+	// their own elections on their own failure-detection clocks — so each
+	// read retries within a generous post-heal window; only the value is
+	// non-negotiable.
+	readDeadline := time.Now().Add(30 * et)
+	for i := 0; i < writes; i++ {
+		key := fmt.Sprintf("%s-acked-%02d", probe, i)
+		strongGetEventually(t, client, key, key, readDeadline)
+	}
+	strongGetEventually(t, client, probe, "post", readDeadline)
+}
+
+// strongGetEventually strong-reads key until it succeeds (retrying while
+// the key's range is electing) or deadline passes; the value must match
+// exactly on the first successful read — a wrong value is never excused.
+func strongGetEventually(t *testing.T, client *Client, key, want string, deadline time.Time) {
+	t.Helper()
+	for {
+		opCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		got, err := client.StrongGet(opCtx, key)
+		cancel()
+		if err == nil {
+			if string(got) != want {
+				t.Fatalf("StrongGet %s = %q, want %q", key, got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("StrongGet %s never succeeded after failover: %v", key, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

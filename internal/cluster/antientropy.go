@@ -384,7 +384,11 @@ func (n *Node) syncLeaves(ctx context.Context, peer string, tree *merkle.Tree, l
 				verV, _ := d.Get("ver")
 				ver, _ := verV.(int64)
 				n.aeDigestBytes.Add(int64(len(key)) + 24)
-				remote[key] = remoteDigest{rec: nwr.Record{Key: key, Ver: ver, Origin: d.StringOr("origin", "")}}
+				remote[key] = remoteDigest{rec: nwr.Record{
+					Key: key, Ver: ver,
+					Origin: d.StringOr("origin", ""),
+					Strong: d.StringOr("strong", "0") == "1",
+				}}
 			}
 		}
 	}
@@ -393,6 +397,12 @@ func (n *Node) syncLeaves(ctx context.Context, peer string, tree *merkle.Tree, l
 	var pushRecs []nwr.Record // push to peer: we have it newer or they lack it
 	for key, rd := range remote {
 		lrec, have := local[key]
+		if n.consensusGuardsRecord(rd.rec) || (have && n.consensusGuardsRecord(lrec)) {
+			// A log-managed record whose range leader is elsewhere: the
+			// replicated log is the only writer allowed to move it, or LWW
+			// repair would race acked strong writes.
+			continue
+		}
 		switch {
 		case !have:
 			wantKeys = append(wantKeys, key)
@@ -403,7 +413,7 @@ func (n *Node) syncLeaves(ctx context.Context, peer string, tree *merkle.Tree, l
 		}
 	}
 	for key, lrec := range local {
-		if _, listed := remote[key]; !listed {
+		if _, listed := remote[key]; !listed && !n.consensusGuardsRecord(lrec) {
 			pushRecs = append(pushRecs, lrec)
 		}
 	}
@@ -459,11 +469,18 @@ func (n *Node) handleAELeaf(body bson.D) (bson.D, error) {
 	recs := n.sharedRecordsInLeaves(from, tree, leafSet)
 	digests := make(bson.A, 0, len(recs))
 	for _, rec := range recs {
-		digests = append(digests, bson.D{
+		if n.consensusGuardsRecord(rec) {
+			continue // log-managed record, leader elsewhere: the log moves it
+		}
+		d := bson.D{
 			{Key: "key", Value: rec.Key},
 			{Key: "ver", Value: rec.Ver},
 			{Key: "origin", Value: rec.Origin},
-		})
+		}
+		if rec.Strong {
+			d = append(d, bson.E{Key: "strong", Value: "1"})
+		}
+		digests = append(digests, d)
 	}
 	return bson.D{{Key: "digests", Value: digests}}, nil
 }
@@ -586,6 +603,9 @@ func (n *Node) flatAntiEntropyRound(ctx context.Context, peer string) (pushed, p
 		if err != nil {
 			return true
 		}
+		if n.consensusGuardsRecord(rec) {
+			return true // log-managed record, leader elsewhere: the log moves it
+		}
 		owners, err := n.ring.Successors(rec.Key, n.cfg.NWR.N)
 		if err != nil {
 			return true
@@ -603,11 +623,15 @@ func (n *Node) flatAntiEntropyRound(ctx context.Context, peer string) (pushed, p
 	}
 	digests := make(bson.A, len(entries))
 	for i, rec := range entries {
-		digests[i] = bson.D{
+		d := bson.D{
 			{Key: "key", Value: rec.Key},
 			{Key: "ver", Value: rec.Ver},
 			{Key: "origin", Value: rec.Origin},
 		}
+		if rec.Strong {
+			d = append(d, bson.E{Key: "strong", Value: "1"})
+		}
+		digests[i] = d
 		n.aeDigestBytes.Add(int64(len(rec.Key) + len(rec.Origin) + 24))
 	}
 	resp, err := n.tr.Call(ctx, peer, transport.Message{
@@ -676,10 +700,17 @@ func (n *Node) handleAntiEntropy(body bson.D) (bson.D, error) {
 		key := d.StringOr("key", "")
 		verV, _ := d.Get("ver")
 		ver, _ := verV.(int64)
-		remote := nwr.Record{Key: key, Ver: ver, Origin: d.StringOr("origin", "")}
+		remote := nwr.Record{
+			Key: key, Ver: ver,
+			Origin: d.StringOr("origin", ""),
+			Strong: d.StringOr("strong", "0") == "1",
+		}
 		local, found, err := n.coord.GetLocal(key)
 		if err != nil {
 			continue
+		}
+		if n.consensusGuardsRecord(remote) || (found && n.consensusGuardsRecord(local)) {
+			continue // log-managed record, leader elsewhere: neither offer nor ask
 		}
 		switch {
 		case !found:

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mystore/internal/bson"
+	"mystore/internal/consensus"
 	"mystore/internal/docstore"
 	"mystore/internal/resilience"
 	"mystore/internal/trace"
@@ -162,6 +163,102 @@ func (c *Client) callAttempts(ctx context.Context, msgType string, body bson.D) 
 		// they are data errors, but quorum failures might; retry anyway.
 	}
 	return nil, lastErr
+}
+
+// maxLeaderRedirects bounds how many NotLeader redirect hops one attempt
+// may follow before the hop chain counts as a failed attempt. Redirects are
+// free — a node telling us exactly where to go is progress, not failure, so
+// following its hint must not consume the caller's retry budget.
+const maxLeaderRedirects = 3
+
+// callStrong performs one strong operation: the request carries
+// consistency=strong, NotLeader rejections are treated as retryable, and a
+// rejection's leader hint is followed first — as a free hop within the same
+// attempt, then as the preferred target of the next attempt.
+func (c *Client) callStrong(ctx context.Context, msgType string, body bson.D) (bson.D, error) {
+	ctx, sp := trace.Start(ctx, "cluster.call.strong")
+	req := make(bson.D, 0, len(body)+1)
+	req = append(req, body...)
+	req = append(req, bson.E{Key: "consistency", Value: "strong"})
+
+	var failed map[string]bool
+	var lastErr error
+	hint := ""
+	for i := 0; i < c.opts.Attempts; i++ {
+		if i > 0 {
+			if resilience.Sleep(ctx, c.opts.RetryBackoff.Delay(i-1, nil)) != nil {
+				break // caller gave up mid-backoff
+			}
+		}
+		node := hint
+		hint = ""
+		if node == "" {
+			node = c.pick(failed)
+		}
+		for hop := 0; hop <= maxLeaderRedirects; hop++ {
+			cctx, cancel := context.WithTimeout(ctx, c.opts.CallTimeout)
+			resp, err := c.tr.Call(cctx, node, transport.Message{Type: msgType, Body: req})
+			cancel()
+			c.opts.Breakers.Report(node, err == nil || transport.IsRemote(err))
+			if err == nil {
+				sp.End(nil)
+				return resp, nil
+			}
+			lastErr = err
+			if leader, isNL := consensus.ParseNotLeader(err); isNL {
+				// The node answered — it just isn't the leader. Its hint is
+				// a free redirect; without one (mid-election) fall through
+				// to the next attempt, whose backoff rides the election out.
+				if leader != "" && leader != node {
+					node = leader
+					continue
+				}
+				break
+			}
+			// Transport-level failure: this node is out for this operation.
+			if failed == nil {
+				failed = make(map[string]bool, c.opts.Attempts)
+			}
+			failed[node] = true
+			break
+		}
+	}
+	sp.End(lastErr)
+	return nil, lastErr
+}
+
+// StrongPut writes key through the owning range's replicated log: the ack
+// means a majority of the range's replicas hold the write durably.
+func (c *Client) StrongPut(ctx context.Context, key string, val []byte) error {
+	_, err := c.callStrong(ctx, MsgPut, bson.D{
+		{Key: "self-key", Value: key},
+		{Key: "val", Value: val},
+	})
+	return err
+}
+
+// StrongGet reads key from the range leader under its lease — linearizable
+// with respect to StrongPut/StrongDelete acks.
+func (c *Client) StrongGet(ctx context.Context, key string) ([]byte, error) {
+	resp, err := c.callStrong(ctx, MsgGet, bson.D{{Key: "self-key", Value: key}})
+	if err != nil {
+		return nil, err
+	}
+	if found, ok := resp.Get("found"); !ok || found != true {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotFound, key)
+	}
+	v, _ := resp.Get("val")
+	b, ok := v.([]byte)
+	if !ok {
+		return nil, errors.New("cluster: malformed strong get response")
+	}
+	return b, nil
+}
+
+// StrongDelete replicates a tombstone for key through the range's log.
+func (c *Client) StrongDelete(ctx context.Context, key string) error {
+	_, err := c.callStrong(ctx, MsgDelete, bson.D{{Key: "self-key", Value: key}})
+	return err
 }
 
 // Put stores val under key.

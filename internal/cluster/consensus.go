@@ -1,0 +1,162 @@
+// The node's side of the CP replication tier: wiring the consensus manager
+// into the coordinator's breaker-gated RPC path, the local store, the ring
+// walk, and the streaming bulk-transfer path for snapshot catch-up.
+package cluster
+
+import (
+	"context"
+	"path/filepath"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/consensus"
+	"mystore/internal/nwr"
+	"mystore/internal/ring"
+)
+
+// startConsensus builds the consensus manager over the node's environment.
+func (n *Node) startConsensus() error {
+	cfg := n.cfg
+	rf := cfg.NWR.N
+	if rf <= 0 {
+		rf = 3
+	}
+	walDir := ""
+	if cfg.StoreDir != "" {
+		walDir = filepath.Join(cfg.StoreDir, "consensus")
+	}
+	m, err := consensus.NewManager(consensus.Options{
+		Ranges:            cfg.StrongRanges,
+		ReplicationFactor: rf,
+		ElectionTimeout:   cfg.StrongElectionTimeout,
+		LeaseDuration:     cfg.StrongLeaseDuration,
+		WALDir:            walDir,
+		SyncEveryAppend:   cfg.Store.WAL.SyncEveryAppend,
+		Seed:              cfg.Seed,
+		Now:               cfg.Now,
+	}, consensus.Env{
+		Self: n.tr.Addr(),
+		// All consensus RPCs — elections included — ride the coordinator's
+		// breaker-gated, deadline-bounded peer path, so probes against a
+		// dead peer fast-fail instead of burning a CallTimeout each.
+		Call: func(ctx context.Context, target, msgType string, body bson.D) (bson.D, error) {
+			return n.coord.CallPeer(ctx, target, msgType, body)
+		},
+		Apply: func(ctx context.Context, rec nwr.Record) error {
+			return n.coord.ApplyLocalCtx(ctx, rec)
+		},
+		Read: func(key string) (nwr.Record, bool, error) {
+			return n.coord.GetLocal(key)
+		},
+		Replicas: func(lo uint32) ([]string, error) {
+			if n.ring.Len() < rf {
+				return nil, consensus.ErrRingNotReady
+			}
+			return n.ring.SuccessorsAt(lo, rf)
+		},
+		StreamRange: func(ctx context.Context, target string, lo, hi uint32) bool {
+			return n.streamRangeTo(ctx, target, lo, hi)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	n.cns = m
+	// Hint writeback leaves log-managed (_strong) records parked while their
+	// range's leader is elsewhere — the replicated log is their only legal
+	// mover; a later pass retries after failover. Eventual-tier records in
+	// the same hash range keep flowing normally.
+	n.coord.SkipHint = n.consensusGuardsRecord
+	return nil
+}
+
+// Consensus exposes the consensus manager (nil when the tier is off).
+func (n *Node) Consensus() *consensus.Manager { return n.cns }
+
+// StrongPut writes key through the range's replicated log.
+func (n *Node) StrongPut(ctx context.Context, key string, val []byte) error {
+	if n.cns == nil {
+		return consensus.ErrDisabled
+	}
+	return n.cns.Put(ctx, key, val, true)
+}
+
+// StrongGet serves a leader-local strong read.
+func (n *Node) StrongGet(ctx context.Context, key string) ([]byte, error) {
+	if n.cns == nil {
+		return nil, consensus.ErrDisabled
+	}
+	rec, err := n.cns.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Val, nil
+}
+
+// StrongDelete replicates a tombstone through the range's log.
+func (n *Node) StrongDelete(ctx context.Context, key string) error {
+	if n.cns == nil {
+		return consensus.ErrDisabled
+	}
+	return n.cns.Delete(ctx, key)
+}
+
+// consensusGuardsRecord reports whether background LWW repair (anti-entropy
+// push/pull, hint drain) must leave rec alone: it was written through a
+// consensus log (_strong) and its range's leader is on another node, so LWW
+// movement would race the log. Eventual-tier records are never guarded —
+// a consensus range's hash span carries ordinary quorum traffic too, and
+// that traffic still needs hints and repair.
+func (n *Node) consensusGuardsRecord(rec nwr.Record) bool {
+	return rec.Strong && n.cns != nil && n.cns.GuardKey(rec.Key)
+}
+
+// consensusReplicatesKey reports whether this node is a consensus replica
+// for key's range; rebalance treats log-managed records of such ranges as
+// owned (never migrates them away and drops the local copy).
+func (n *Node) consensusReplicatesKey(key string) bool {
+	return n.cns != nil && n.cns.ReplicatesKey(key)
+}
+
+// hashInRange reports whether ring hash h falls in [lo, hi); hi == 0 means
+// the range runs to the top of the 32-bit space.
+func hashInRange(h, lo, hi uint32) bool {
+	if hi == 0 {
+		return h >= lo
+	}
+	return h >= lo && h < hi
+}
+
+// streamRangeTo bulk-transfers every local record hashing into [lo, hi) to
+// target over the offer-based streaming path (digests first, payload only
+// for keys the receiver is missing). It is the consensus snapshot transport:
+// LWW-idempotent batches make a crash mid-transfer resumable by re-running.
+func (n *Node) streamRangeTo(ctx context.Context, target string, lo, hi uint32) bool {
+	coll := n.store.C(nwr.RecordCollection)
+	os := n.newOfferSender(target)
+	coll.Each(func(doc bson.D) bool {
+		rec, err := nwr.RecordFromDoc(doc)
+		if err != nil {
+			return true
+		}
+		if hashInRange(ring.Hash(rec.Key), lo, hi) {
+			os.Add(ctx, rec)
+		}
+		return true
+	})
+	_, ok := os.Close(ctx)
+	return ok
+}
+
+// strongTimeout derives a default deadline for strong ops arriving without
+// one (transport deadlines normally provide it).
+func (n *Node) strongTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	et := n.cfg.StrongElectionTimeout
+	if et <= 0 {
+		et = 150 * time.Millisecond
+	}
+	return context.WithTimeout(ctx, 10*et)
+}

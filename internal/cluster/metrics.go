@@ -130,6 +130,37 @@ func (n *Node) RegisterMetrics(r *metrics.Registry) {
 			AddHistogram(addr, 1, log.BatchSizes().Snapshot)
 	}
 
+	if cns := n.cns; cns != nil {
+		r.Register("mystore_consensus_ranges_led", "Consensus ranges this node currently leads.", metrics.TypeGauge, "node").
+			Add(addr, func() float64 { return float64(cns.RangesLed()) })
+		r.Register("mystore_consensus_elections_total", "Elections this node started (candidate transitions).", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().Elections) })
+		r.Register("mystore_consensus_elections_won_total", "Elections this node won.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().ElectionsWon) })
+		r.Register("mystore_consensus_leader_changes_total", "Observed leader changes across this node's ranges.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().LeaderChanges) })
+		r.Register("mystore_consensus_proposals_total", "Strong writes proposed to a log this node leads.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().Proposals) })
+		r.Register("mystore_consensus_commits_total", "Log entries committed on this node.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().Commits) })
+		r.Register("mystore_consensus_applies_total", "Committed entries applied to the local store.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().Applies) })
+		r.Register("mystore_consensus_not_leader_rejects_total", "Strong requests refused because this node does not lead the range.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().NotLeaderRejects) })
+		r.Register("mystore_consensus_lease_expiries_total", "Leaderships stepped down because the quorum lease expired.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().LeaseExpiries) })
+		r.Register("mystore_consensus_stale_term_rejects_total", "Append RPCs refused for carrying a stale term (fencing).", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().StaleTermRejects) })
+		r.Register("mystore_consensus_snapshots_sent_total", "Snapshot catch-up transfers sent to lagging followers.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().SnapshotsSent) })
+		r.Register("mystore_consensus_snapshots_installed_total", "Snapshot catch-ups installed on this node.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().SnapshotsInstalled) })
+		r.Register("mystore_consensus_strong_reads_total", "Leader-local linearizable reads served.", metrics.TypeCounter, "node").
+			Add(addr, func() float64 { return float64(cns.Stats().StrongReads) })
+		r.Register("mystore_consensus_propose_seconds", "Strong write latency through the replicated log (propose to commit).", metrics.TypeHistogram, "node").
+			AddHistogram(addr, 1e-9, cns.ProposeLatency().Snapshot)
+	}
+
 	if ins, ok := n.tr.(transport.Instrumented); ok {
 		r.Register("mystore_rpc_seconds", "Outbound RPC latency by destination peer.", metrics.TypeHistogram, "peer").
 			AddHistogramVec(1e-9, ins.RPCLatency().Snapshots)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mystore/internal/bson"
+	"mystore/internal/consensus"
 	"mystore/internal/docstore"
 	"mystore/internal/gossip"
 	"mystore/internal/nwr"
@@ -92,6 +93,18 @@ type Config struct {
 	// caller's context — and with it the gateway's collector — straight
 	// through.
 	Tracer *trace.Collector
+	// StrongRanges, when > 0, enables the CP replication tier: the ring-hash
+	// space is cut into this many ranges, each replicated by a consensus
+	// group over its first NWR.N clockwise owners. Requests carrying
+	// consistency=strong route through the range leader's replicated log
+	// instead of the NWR quorum path. Zero leaves the tier off.
+	StrongRanges int
+	// StrongElectionTimeout is the consensus election timeout base (see
+	// consensus.Options.ElectionTimeout). Zero takes the default.
+	StrongElectionTimeout time.Duration
+	// StrongLeaseDuration bounds leader-local strong reads (clamped to the
+	// election timeout). Zero takes the default.
+	StrongLeaseDuration time.Duration
 	// Now injects a clock for deterministic simulations.
 	Now func() time.Time
 }
@@ -120,6 +133,7 @@ type Node struct {
 	ring     *ring.Ring
 	gossiper *gossip.Gossiper
 	coord    *nwr.Coordinator
+	cns      *consensus.Manager // nil unless cfg.StrongRanges > 0
 
 	breakers *resilience.BreakerSet // nil when cfg.DisableBreakers
 
@@ -222,6 +236,12 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		return nil, err
 	}
 	n.gossiper.SetLocal("weight", strconv.Itoa(cfg.Weight))
+	if cfg.StrongRanges > 0 {
+		if err := n.startConsensus(); err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	if cfg.Tracer != nil {
 		if ts, ok := tr.(interface{ SetTracer(*trace.Collector) }); ok {
 			ts.SetTracer(cfg.Tracer)
@@ -373,6 +393,11 @@ func (n *Node) handleMessage(ctx context.Context, msg transport.Message) (bson.D
 		return n.gossiper.HandleMessage(ctx, msg)
 	case strings.HasPrefix(msg.Type, "nwr."):
 		return n.coord.HandleMessage(ctx, msg)
+	case strings.HasPrefix(msg.Type, "cns."):
+		if n.cns == nil {
+			return nil, consensus.ErrDisabled
+		}
+		return n.cns.HandleMessage(msg.Type, msg.Body)
 	}
 	switch msg.Type {
 	case MsgVersion:
@@ -386,12 +411,33 @@ func (n *Node) handleMessage(ctx context.Context, msg transport.Message) (bson.D
 		if key == "" || !ok {
 			return nil, errors.New("cluster: put requires self-key and binary val")
 		}
+		if msg.Body.StringOr("consistency", "") == "strong" {
+			sctx, cancel := n.strongTimeout(ctx)
+			err := n.StrongPut(sctx, key, b)
+			cancel()
+			if err != nil {
+				return nil, err
+			}
+			return bson.D{{Key: "ok", Value: true}}, nil
+		}
 		if err := n.coord.Put(ctx, key, b); err != nil {
 			return nil, err
 		}
 		return bson.D{{Key: "ok", Value: true}}, nil
 	case MsgGet:
 		key := msg.Body.StringOr("self-key", "")
+		if msg.Body.StringOr("consistency", "") == "strong" {
+			sctx, cancel := n.strongTimeout(ctx)
+			val, err := n.StrongGet(sctx, key)
+			cancel()
+			if errors.Is(err, consensus.ErrNotFound) {
+				return bson.D{{Key: "found", Value: false}}, nil
+			}
+			if err != nil {
+				return nil, err
+			}
+			return bson.D{{Key: "found", Value: true}, {Key: "val", Value: val}}, nil
+		}
 		val, err := n.coord.Get(ctx, key)
 		if errors.Is(err, nwr.ErrNotFound) {
 			return bson.D{{Key: "found", Value: false}}, nil
@@ -404,6 +450,15 @@ func (n *Node) handleMessage(ctx context.Context, msg transport.Message) (bson.D
 		return n.handleGetMany(ctx, msg.Body)
 	case MsgDelete:
 		key := msg.Body.StringOr("self-key", "")
+		if msg.Body.StringOr("consistency", "") == "strong" {
+			sctx, cancel := n.strongTimeout(ctx)
+			err := n.StrongDelete(sctx, key)
+			cancel()
+			if err != nil {
+				return nil, err
+			}
+			return bson.D{{Key: "ok", Value: true}}, nil
+		}
 		if err := n.coord.Delete(ctx, key); err != nil {
 			return nil, err
 		}
@@ -480,7 +535,7 @@ func (n *Node) statusDoc() bson.D {
 	for i, a := range live {
 		liveArr[i] = a
 	}
-	return bson.D{
+	doc := bson.D{
 		{Key: "addr", Value: n.Addr()},
 		{Key: "records", Value: int64(n.store.C(nwr.RecordCollection).Len())},
 		{Key: "hints", Value: int64(n.coord.HintCount())},
@@ -494,6 +549,15 @@ func (n *Node) statusDoc() bson.D {
 		{Key: "breakersOpen", Value: int64(n.breakers.OpenCount())},
 		{Key: "breakerFastFails", Value: n.breakers.Stats().FastFailures},
 	}
+	if n.cns != nil {
+		st := n.cns.Stats()
+		doc = append(doc,
+			bson.E{Key: "strongRangesLed", Value: int64(st.RangesLed)},
+			bson.E{Key: "strongProposals", Value: st.Proposals},
+			bson.E{Key: "strongReads", Value: st.StrongReads},
+		)
+	}
+	return doc
 }
 
 // Kill abandons the node as an abrupt process death (kill -9) would: the
@@ -510,6 +574,9 @@ func (n *Node) Kill() {
 	n.closed = true
 	n.mu.Unlock()
 	n.tr.Close()
+	if n.cns != nil {
+		n.cns.Kill() // abandon the consensus WAL unsynced, like the store
+	}
 	n.coord.Close()
 	n.store.Crash()
 }
@@ -524,6 +591,9 @@ func (n *Node) Close() error {
 	n.closed = true
 	n.mu.Unlock()
 	terr := n.tr.Close()
+	if n.cns != nil {
+		n.cns.Close()
+	}
 	n.coord.Close()
 	serr := n.store.Close()
 	if terr != nil {

@@ -57,6 +57,14 @@ func (n *Node) Rebalance(ctx context.Context) (pushed, dropped int) {
 				break
 			}
 		}
+		if !selfOwns && rec.Strong && n.consensusReplicatesKey(rec.Key) {
+			// Consensus replicas hold every log-managed record of their
+			// ranges, including keys whose per-key NWR owner set excludes
+			// this node. Migrating such a record away and dropping it
+			// locally would erase acked strong writes from the replica set;
+			// keep it like owned data.
+			selfOwns = true
+		}
 		if selfOwns {
 			// Ensure fellow owners hold the record (re-replication after a
 			// departure). Reads would repair lazily; this is the proactive

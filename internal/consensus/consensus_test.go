@@ -1,0 +1,530 @@
+package consensus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mystore/internal/bson"
+	"mystore/internal/nwr"
+	"mystore/internal/ring"
+)
+
+// testCluster is an in-package harness: managers wired together with direct
+// Call closures, a partition set, and a map store per node.
+type testCluster struct {
+	mu    sync.Mutex
+	nodes map[string]*testNode
+	cut   map[string]bool // partitioned-off addresses
+}
+
+type testNode struct {
+	addr  string
+	m     *Manager
+	mu    sync.Mutex
+	store map[string]nwr.Record
+}
+
+func (tn *testNode) apply(rec nwr.Record) {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	if old, ok := tn.store[rec.Key]; !ok || rec.Newer(old) {
+		tn.store[rec.Key] = rec
+	}
+}
+
+func (tn *testNode) read(key string) (nwr.Record, bool) {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	rec, ok := tn.store[key]
+	return rec, ok
+}
+
+func (tc *testCluster) reachable(a, b string) bool {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return !tc.cut[a] && !tc.cut[b]
+}
+
+func (tc *testCluster) partition(addrs ...string) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	for _, a := range addrs {
+		tc.cut[a] = true
+	}
+}
+
+func (tc *testCluster) heal() {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.cut = map[string]bool{}
+}
+
+// newTestCluster starts n managers replicating every range across all n
+// nodes (replication factor n), with walDirs[i] persisting node i's log
+// when non-empty.
+func newTestCluster(t *testing.T, n int, walDirs []string) *testCluster {
+	t.Helper()
+	tc := &testCluster{nodes: map[string]*testNode{}, cut: map[string]bool{}}
+	var addrs []string
+	for i := 0; i < n; i++ {
+		addrs = append(addrs, fmt.Sprintf("n%d", i))
+	}
+	sort.Strings(addrs)
+	for i, addr := range addrs {
+		self := addr
+		tn := &testNode{addr: self, store: map[string]nwr.Record{}}
+		env := Env{
+			Self: self,
+			Call: func(ctx context.Context, target, msgType string, body bson.D) (bson.D, error) {
+				if !tc.reachable(self, target) {
+					return nil, errors.New("test: partitioned")
+				}
+				tc.mu.Lock()
+				peer := tc.nodes[target]
+				tc.mu.Unlock()
+				if peer == nil {
+					return nil, errors.New("test: no such node")
+				}
+				return peer.m.HandleMessage(msgType, body)
+			},
+			Apply: func(ctx context.Context, rec nwr.Record) error {
+				tn.apply(rec)
+				return nil
+			},
+			Read: func(key string) (nwr.Record, bool, error) {
+				rec, ok := tn.read(key)
+				return rec, ok, nil
+			},
+			Replicas: func(lo uint32) ([]string, error) { return addrs, nil },
+			StreamRange: func(ctx context.Context, target string, lo, hi uint32) bool {
+				if !tc.reachable(self, target) {
+					return false
+				}
+				tc.mu.Lock()
+				peer := tc.nodes[target]
+				tc.mu.Unlock()
+				if peer == nil {
+					return false
+				}
+				tn.mu.Lock()
+				var recs []nwr.Record
+				for k, rec := range tn.store {
+					h := ring.Hash(k)
+					if inRange(h, lo, hi) {
+						recs = append(recs, rec)
+					}
+				}
+				tn.mu.Unlock()
+				for _, rec := range recs {
+					peer.apply(rec)
+				}
+				return true
+			},
+		}
+		walDir := ""
+		if walDirs != nil {
+			walDir = walDirs[i]
+		}
+		m, err := NewManager(Options{
+			Ranges:            4,
+			ReplicationFactor: n,
+			ElectionTimeout:   50 * time.Millisecond,
+			WALDir:            walDir,
+			SyncEveryAppend:   walDir != "",
+			Seed:              int64(42 + i),
+		}, env)
+		if err != nil {
+			t.Fatalf("NewManager(%s): %v", self, err)
+		}
+		tn.m = m
+		tc.mu.Lock()
+		tc.nodes[self] = tn
+		tc.mu.Unlock()
+	}
+	t.Cleanup(func() {
+		tc.mu.Lock()
+		nodes := make([]*testNode, 0, len(tc.nodes))
+		for _, tn := range tc.nodes {
+			nodes = append(nodes, tn)
+		}
+		tc.mu.Unlock()
+		for _, tn := range nodes {
+			tn.m.Close()
+		}
+	})
+	return tc
+}
+
+func inRange(h, lo, hi uint32) bool {
+	if hi == 0 {
+		return h >= lo
+	}
+	return h >= lo && h < hi
+}
+
+// leaderFor polls until exactly one live node leads key's range.
+func (tc *testCluster) leaderFor(t *testing.T, key string, timeout time.Duration) *testNode {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var leaders []*testNode
+		tc.mu.Lock()
+		nodes := make([]*testNode, 0, len(tc.nodes))
+		for _, tn := range tc.nodes {
+			nodes = append(nodes, tn)
+		}
+		cut := make(map[string]bool, len(tc.cut))
+		for a := range tc.cut {
+			cut[a] = true
+		}
+		tc.mu.Unlock()
+		for _, tn := range nodes {
+			if cut[tn.addr] {
+				continue
+			}
+			if tn.m.LeadsKey(key) {
+				leaders = append(leaders, tn)
+			}
+		}
+		if len(leaders) == 1 {
+			return leaders[0]
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no single leader for %q within %v", key, timeout)
+	return nil
+}
+
+func TestElectionAndStrongRoundTrip(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	key := "dragon"
+	// A strong op against any replica triggers lazy group creation; only the
+	// eventual leader accepts it.
+	ctx := context.Background()
+	var leader *testNode
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		for _, tn := range tc.nodes {
+			if err := tn.m.Put(ctx, key, []byte("hoard"), true); err == nil {
+				leader = tn
+			}
+		}
+		if leader != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader == nil {
+		t.Fatal("no node accepted a strong put within 3s")
+	}
+	rec, err := leader.m.Get(ctx, key)
+	if err != nil {
+		t.Fatalf("leader strong get: %v", err)
+	}
+	if string(rec.Val) != "hoard" {
+		t.Fatalf("strong get: got %q want %q", rec.Val, "hoard")
+	}
+	// A follower must bounce strong reads with a leader hint.
+	for _, tn := range tc.nodes {
+		if tn == leader {
+			continue
+		}
+		_, err := tn.m.Get(ctx, key)
+		if !IsNotLeader(err) {
+			t.Fatalf("follower strong get: got %v, want ErrNotLeader", err)
+		}
+		if hint, ok := ParseNotLeader(err); ok && hint != "" && hint != leader.addr {
+			t.Fatalf("follower hint %q, want %q", hint, leader.addr)
+		}
+	}
+	// The write reaches every replica's store once the commit index rides
+	// the following heartbeats.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		applied := 0
+		for _, tn := range tc.nodes {
+			if rec, ok := tn.read(key); ok && string(rec.Val) == "hoard" {
+				applied++
+			}
+		}
+		if applied == len(tc.nodes) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("write applied on %d/%d nodes", applied, len(tc.nodes))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestStaleTermAppendRefused(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	key := "stale"
+	ctx := context.Background()
+	var leader *testNode
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline) && leader == nil; {
+		for _, tn := range tc.nodes {
+			if tn.m.Put(ctx, key, []byte("v"), true) == nil {
+				leader = tn
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader == nil {
+		t.Fatal("no leader within 3s")
+	}
+	// Hand-craft an append from a deposed leader: term 0 is below any
+	// elected term.
+	var follower *testNode
+	for _, tn := range tc.nodes {
+		if tn != leader {
+			follower = tn
+			break
+		}
+	}
+	rid := RangeOf(ring.Hash(key), 4)
+	var peers bson.A
+	for a := range tc.nodes {
+		peers = append(peers, a)
+	}
+	resp, err := follower.m.HandleMessage(MsgAppend, bson.D{
+		{Key: "rid", Value: int64(rid)},
+		{Key: "peers", Value: peers},
+		{Key: "term", Value: int64(0)},
+		{Key: "leader", Value: "impostor"},
+		{Key: "prevIdx", Value: int64(0)},
+		{Key: "prevTerm", Value: int64(0)},
+		{Key: "commit", Value: int64(0)},
+	})
+	if err != nil {
+		t.Fatalf("stale append errored instead of replying: %v", err)
+	}
+	if ok, _ := resp.Get("ok"); ok == true {
+		t.Fatal("stale-term append accepted; want refusal")
+	}
+	if got := follower.m.Stats().StaleTermRejects; got == 0 {
+		t.Fatal("stale-term reject not counted")
+	}
+	// The refusal must carry the follower's (higher) term.
+	if term, _ := resp.Get("term"); term.(int64) < 1 {
+		t.Fatalf("refusal term %v, want >= 1", term)
+	}
+}
+
+func TestLeaderStepsDownOnLeaseExpiryUnderPartition(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	key := "lease"
+	ctx := context.Background()
+	var leader *testNode
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline) && leader == nil; {
+		for _, tn := range tc.nodes {
+			if tn.m.Put(ctx, key, []byte("v1"), true) == nil {
+				leader = tn
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader == nil {
+		t.Fatal("no leader within 3s")
+	}
+	// Cut the leader off from both followers.
+	tc.partition(leader.addr)
+	// Its lease must expire and it must stop claiming leadership.
+	deadline := time.Now().Add(2 * time.Second)
+	for leader.m.LeadsKey(key) {
+		if time.Now().After(deadline) {
+			t.Fatal("partitioned leader still claims leadership after 2s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leader.m.Stats().LeaseExpiries == 0 {
+		t.Fatal("lease expiry not counted")
+	}
+	// Strong reads on the deposed leader must be refused, not served stale.
+	if _, err := leader.m.Get(ctx, key); err == nil {
+		t.Fatal("deposed leader served a strong read")
+	}
+	// The majority side elects a replacement.
+	newLeader := tc.leaderFor(t, key, 3*time.Second)
+	if newLeader.addr == leader.addr {
+		t.Fatal("partitioned node re-elected itself without quorum")
+	}
+	if err := newLeader.m.Put(ctx, key, []byte("v2"), true); err != nil {
+		t.Fatalf("majority-side put: %v", err)
+	}
+	// Heal: the old leader rejoins as a follower and converges.
+	tc.heal()
+	deadline = time.Now().Add(3 * time.Second)
+	for {
+		if rec, ok := leader.read(key); ok && string(rec.Val) == "v2" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("healed ex-leader did not converge to v2")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestConflictingSuffixOverwritten(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	key := "conflict"
+	ctx := context.Background()
+	var leader *testNode
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline) && leader == nil; {
+		for _, tn := range tc.nodes {
+			if tn.m.Put(ctx, key, []byte("base"), true) == nil {
+				leader = tn
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader == nil {
+		t.Fatal("no leader within 3s")
+	}
+	tc.partition(leader.addr)
+	// Propose on the cut-off leader: it appends locally but can never
+	// commit; the waiter must fail (step-down or timeout), never ack.
+	pctx, cancel := context.WithTimeout(ctx, 500*time.Millisecond)
+	err := leader.m.Put(pctx, key, []byte("orphan"), true)
+	cancel()
+	if err == nil {
+		t.Fatal("partitioned leader acked a strong write without quorum")
+	}
+	// Majority side moves on.
+	newLeader := tc.leaderFor(t, key, 3*time.Second)
+	if err := newLeader.m.Put(ctx, key, []byte("winner"), true); err != nil {
+		t.Fatalf("majority-side put: %v", err)
+	}
+	tc.heal()
+	// The old leader's conflicting suffix is truncated and replaced; all
+	// stores converge on the committed value.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		done := true
+		for _, tn := range tc.nodes {
+			rec, ok := tn.read(key)
+			if !ok || string(rec.Val) != "winner" {
+				done = false
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			rec, _ := leader.read(key)
+			t.Fatalf("stores did not converge on %q; ex-leader has %q", "winner", rec.Val)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestWALReplayRestoresLog(t *testing.T) {
+	dir := t.TempDir()
+	addr := "n0"
+	store := map[string]nwr.Record{}
+	var storeMu sync.Mutex
+	newEnv := func() Env {
+		return Env{
+			Self: addr,
+			Call: func(ctx context.Context, target, msgType string, body bson.D) (bson.D, error) {
+				return nil, errors.New("test: single node")
+			},
+			Apply: func(ctx context.Context, rec nwr.Record) error {
+				storeMu.Lock()
+				defer storeMu.Unlock()
+				if old, ok := store[rec.Key]; !ok || rec.Newer(old) {
+					store[rec.Key] = rec
+				}
+				return nil
+			},
+			Read: func(key string) (nwr.Record, bool, error) {
+				storeMu.Lock()
+				defer storeMu.Unlock()
+				rec, ok := store[key]
+				return rec, ok, nil
+			},
+			Replicas: func(lo uint32) ([]string, error) { return []string{addr}, nil },
+		}
+	}
+	opts := Options{
+		Ranges:            4,
+		ReplicationFactor: 1,
+		ElectionTimeout:   30 * time.Millisecond,
+		WALDir:            dir,
+		SyncEveryAppend:   true,
+		Seed:              7,
+	}
+	m, err := NewManager(opts, newEnv())
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	ctx := context.Background()
+	keys := []string{"a", "b", "c", "d", "e"}
+	var put int
+	deadline := time.Now().Add(3 * time.Second)
+	for put < len(keys) && time.Now().Before(deadline) {
+		if err := m.Put(ctx, keys[put], []byte("v-"+keys[put]), true); err == nil {
+			put++
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if put < len(keys) {
+		t.Fatalf("only %d/%d strong puts accepted", put, len(keys))
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Reopen against an EMPTY store: only the replayed log can restore the
+	// values (the snapshot floor is zero — nothing was compacted).
+	storeMu.Lock()
+	store = map[string]nwr.Record{}
+	storeMu.Unlock()
+	m2, err := NewManager(opts, newEnv())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer m2.Close()
+	for _, k := range keys {
+		var rec nwr.Record
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			rec, err = m2.Get(ctx, k)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("strong get %q after replay: %v", k, err)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if string(rec.Val) != "v-"+k {
+			t.Fatalf("replayed %q = %q, want %q", k, rec.Val, "v-"+k)
+		}
+	}
+}
+
+func TestRangeMapping(t *testing.T) {
+	for _, ranges := range []int{1, 2, 8, 64} {
+		for _, h := range []uint32{0, 1, 1 << 30, 1<<31 + 12345, ^uint32(0)} {
+			rid := RangeOf(h, ranges)
+			if rid < 0 || rid >= ranges {
+				t.Fatalf("RangeOf(%d,%d)=%d out of range", h, ranges, rid)
+			}
+			lo, hi := RangeBounds(rid, ranges)
+			if !inRange(h, lo, hi) {
+				t.Fatalf("hash %d not in bounds [%d,%d) of its range %d/%d", h, lo, hi, rid, ranges)
+			}
+		}
+	}
+}

@@ -56,12 +56,29 @@ type ChaosResult struct {
 	// disk). After heal, every node's table set is checksum-scrubbed: a
 	// recovery that loaded a torn or corrupt table counts here. Must be 0.
 	TornTables int64
+
+	// StrongAckedPuts counts linearizable writes acknowledged through the CP
+	// tier mid-chaos (informational).
+	StrongAckedPuts int64
+	// LeaderKills counts kill -9s that landed on a node while it led a
+	// consensus range with strong proposals in flight (informational — the
+	// schedule aims for leaders, so this should be > 0).
+	LeaderKills int
+	// StrongLost is invariant 7a: an acked strong write — a unique key or a
+	// register update — unreadable or rolled back after heal. Must be 0.
+	StrongLost int64
+	// StrongReorders is invariant 7b: a strong read of a single-writer
+	// register returned a sequence older than one the writer had already
+	// seen acknowledged — linearizability lost across a leader change.
+	// Must be 0.
+	StrongReorders int64
 }
 
 // Violations totals the invariant breaches; zero means the soak passed.
 func (r ChaosResult) Violations() int64 {
 	return r.LostWrites + r.ValueViolations + int64(r.HintsAtEnd) + r.DeadlineViolations +
-		r.ReadQuorumViolations + r.VersionRegressions + r.TornTables
+		r.ReadQuorumViolations + r.VersionRegressions + r.TornTables +
+		r.StrongLost + r.StrongReorders
 }
 
 // String summarizes the run.
@@ -81,6 +98,8 @@ func (r ChaosResult) String() string {
 		r.ReadQuorumViolations, r.HedgedReads)
 	fmt.Fprintf(&b, "  invariant 5 — repair regressed record versions: %d\n", r.VersionRegressions)
 	fmt.Fprintf(&b, "  invariant 6 — torn/corrupt tables after kill -9: %d\n", r.TornTables)
+	fmt.Fprintf(&b, "  invariant 7 — strong writes lost %d / reordered %d (%d acked, %d leader kills)\n",
+		r.StrongLost, r.StrongReorders, r.StrongAckedPuts, r.LeaderKills)
 	if r.Violations() == 0 {
 		fmt.Fprintf(&b, "  PASS: no acked write was lost\n")
 	} else {
@@ -111,6 +130,7 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 		GossipInterval:     100 * time.Millisecond,
 		StorageEngine:      "lsm",
 		MemtableBytes:      32 << 10,
+		StrongRanges:       4,
 	})
 	if err != nil {
 		return result, err
@@ -235,6 +255,74 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 		}(w)
 	}
 
+	// Strong writers (invariant 7). Each owns one register key it updates
+	// with a strictly increasing sequence, plus a stream of unique keys —
+	// all through the CP tier. After every acked register write the writer
+	// reads the register back strongly: a sequence older than its highest
+	// acked one means a leader change served a rolled-back prefix, which
+	// is exactly what the lease + term fencing must prevent. Failures are
+	// availability events (elections in flight); only acked state counts.
+	strongAcked := map[string][]byte{}
+	regMax := make([]int64, 2)
+	for i := range regMax {
+		regMax[i] = -1
+	}
+	var strongAckedPuts, strongReorders int64
+	const strongWriters = 2
+	for w := 0; w < strongWriters; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			reg := fmt.Sprintf("strongreg-%d", w)
+			for seq := int64(0); churnCtx.Err() == nil; seq++ {
+				opCtx, cancel := context.WithTimeout(context.Background(), opTimeout)
+				key := fmt.Sprintf("strong-%d-%06d", w, seq)
+				val := []byte(fmt.Sprintf("sval-%d-%06d", w, seq))
+				err := client.StrongPut(opCtx, key, val)
+				atomic.AddInt64(&ops, 1)
+				if err != nil {
+					atomic.AddInt64(&opFailures, 1)
+				} else {
+					atomic.AddInt64(&strongAckedPuts, 1)
+					mu.Lock()
+					strongAcked[key] = val
+					mu.Unlock()
+				}
+				if err := client.StrongPut(opCtx, reg, []byte(fmt.Sprintf("%d", seq))); err != nil {
+					atomic.AddInt64(&opFailures, 1)
+				} else {
+					atomic.AddInt64(&strongAckedPuts, 1)
+					atomic.StoreInt64(&regMax[w], seq)
+				}
+				if got, err := client.StrongGet(opCtx, reg); err == nil {
+					var have int64
+					fmt.Sscanf(string(got), "%d", &have)
+					if floor := atomic.LoadInt64(&regMax[w]); floor >= 0 && have < floor {
+						atomic.AddInt64(&strongReorders, 1)
+					}
+				}
+				cancel()
+			}
+		}(w)
+	}
+
+	// leaderVictim aims a crash at whichever crashable node currently leads
+	// a strong register's range — so the kill -9 lands while that leader
+	// has proposals in flight. Node 0 (the gossip seed) stays protected;
+	// when no crashable leader exists the pick falls back to random.
+	leaderVictim := func(rng *rand.Rand) (int, bool) {
+		nodes := cl.Nodes()
+		for w := 0; w < strongWriters; w++ {
+			reg := fmt.Sprintf("strongreg-%d", w)
+			for i := 1; i < len(nodes); i++ {
+				if cns := nodes[i].Consensus(); cns != nil && cns.LeadsKey(reg) {
+					return i, true
+				}
+			}
+		}
+		return 1 + rng.Intn(4), false
+	}
+
 	// The fault schedule: two cycles of kill -9 → WAL-recovery restart →
 	// partition → heal, spread over the soak window. KillNode abandons the
 	// victim's store mid-flight: no flush, no fsync, any in-progress table
@@ -245,7 +333,10 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 	rng := rand.New(rand.NewSource(scale.Seed * 31))
 	step := result.Duration / 8
 	for cycle := 0; cycle < 2; cycle++ {
-		victim := 1 + rng.Intn(4)
+		victim, ledRange := leaderVictim(rng)
+		if ledRange {
+			result.LeaderKills++
+		}
 		if err := cl.KillNode(victim); err != nil {
 			return result, fmt.Errorf("chaos: kill node %d: %w", victim, err)
 		}
@@ -341,6 +432,53 @@ func RunChaos(scale Scale, dir string) (ChaosResult, error) {
 		settle()
 	}
 	result.LostWrites = int64(len(missing))
+
+	// Invariant 7: every acked strong write must read back — strongly, so
+	// the check itself exercises post-heal elections — with its exact
+	// value, and each register must sit at or past its writer's highest
+	// acked sequence (an older value is an acked update rolled back by a
+	// leader change).
+	strongMissing := make(map[string][]byte, len(strongAcked))
+	for k, v := range strongAcked {
+		strongMissing[k] = v
+	}
+	strongDeadline := time.Now().Add(30 * time.Second)
+	for len(strongMissing) > 0 {
+		for key, want := range strongMissing {
+			vctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			got, err := client.StrongGet(vctx, key)
+			cancel()
+			if err == nil && bytes.Equal(got, want) {
+				delete(strongMissing, key)
+			} else if err == nil {
+				result.StrongLost++
+				delete(strongMissing, key)
+			}
+		}
+		if len(strongMissing) == 0 || time.Now().After(strongDeadline) {
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	result.StrongLost += int64(len(strongMissing))
+	for w := 0; w < strongWriters; w++ {
+		floor := atomic.LoadInt64(&regMax[w])
+		if floor < 0 {
+			continue
+		}
+		vctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		got, err := client.StrongGet(vctx, fmt.Sprintf("strongreg-%d", w))
+		cancel()
+		var have int64 = -1
+		if err == nil {
+			fmt.Sscanf(string(got), "%d", &have)
+		}
+		if have < floor {
+			result.StrongLost++
+		}
+	}
+	result.StrongAckedPuts = strongAckedPuts
+	result.StrongReorders = strongReorders
 
 	// Invariant 6: every surviving table passes a full checksum scrub — a
 	// torn flush or compaction output was never installed.

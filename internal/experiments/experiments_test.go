@@ -193,6 +193,9 @@ func TestChaosNoViolations(t *testing.T) {
 	if res.AckedPuts == 0 {
 		t.Fatal("chaos acked no writes")
 	}
+	if res.StrongAckedPuts == 0 {
+		t.Fatal("chaos acked no strong writes: invariant 7 was not exercised")
+	}
 	if res.CrashRestarts < 2 || res.Partitions < 1 {
 		t.Fatalf("schedule incomplete: %d crash-restarts, %d partitions", res.CrashRestarts, res.Partitions)
 	}
@@ -243,6 +246,55 @@ func TestAblations(t *testing.T) {
 			res.Gossip.PushPullRounds, res.Gossip.PushOnlyRounds)
 	}
 	if s := res.String(); !strings.Contains(s, "A1") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestConsensusAblation(t *testing.T) {
+	skipShapeUnderRace(t)
+	res, err := RunConsensusAblation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCfg := map[string]ConsensusWriteRow{}
+	for _, r := range res.Writes {
+		byCfg[r.Config] = r
+		if r.Errors != 0 {
+			t.Errorf("%s: %d write errors", r.Config, r.Errors)
+		}
+	}
+	strong, eventual := byCfg["strong (consensus)"], byCfg["eventual (quorum W)"]
+	if strong.Writes == 0 || eventual.Writes == 0 {
+		t.Fatalf("missing write rows: %+v", res.Writes)
+	}
+	// The acceptance headline: linearizable writes cost a log append plus a
+	// majority round trip — same order as a quorum write, not 10x. Quick
+	// scale is noisy, so gate at 3x rather than the documented ~2x.
+	if eventual.P50ms > 0 && strong.P50ms/eventual.P50ms > 3 {
+		t.Errorf("strong put p50 %.2fms over eventual %.2fms exceeds 3x", strong.P50ms, eventual.P50ms)
+	}
+	byRead := map[string]ConsensusReadRow{}
+	for _, r := range res.Reads {
+		byRead[r.Config] = r
+		if r.Errors != 0 {
+			t.Errorf("%s: %d read errors", r.Config, r.Errors)
+		}
+	}
+	local, quorum := byRead["strong leader-local"], byRead["eventual quorum (R)"]
+	// The lease's point: a leaseholder read touches no peer, a quorum read
+	// pays replica round trips over the LAN model.
+	if local.P50ms >= quorum.P50ms {
+		t.Errorf("leader-local strong read p50 %.3fms should beat quorum read p50 %.3fms",
+			local.P50ms, quorum.P50ms)
+	}
+	f := res.Failover
+	if f.DowntimeETs <= 0 || f.DowntimeETs >= 10 {
+		t.Errorf("failover downtime %.1f election timeouts, want (0, 10)", f.DowntimeETs)
+	}
+	if f.Lost != 0 {
+		t.Errorf("%d acked strong writes lost across failover", f.Lost)
+	}
+	if s := res.String(); !strings.Contains(s, "A11") {
 		t.Error("String() malformed")
 	}
 }

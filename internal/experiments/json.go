@@ -73,6 +73,8 @@ func JSONSummary(res any) any {
 		return repairJSON(r)
 	case StorageAblation:
 		return storageJSON(r)
+	case ConsensusAblation:
+		return consensusJSON(r)
 	default:
 		return nil
 	}
@@ -273,6 +275,69 @@ func storageJSON(a StorageAblation) map[string]any {
 	}
 	if f.IdleP99ms > 0 {
 		out["compacting_over_idle_p99"] = round2(f.CompactingP99ms / f.IdleP99ms)
+	}
+	return out
+}
+
+// consensusJSON emits the A11 rows plus the consensus PR's acceptance
+// headlines: strong put p50 over eventual put p50 (wants ~2x, not an order
+// of magnitude), eventual quorum read p50 over leader-local strong read p50
+// (the lease's saved round trips), and failover downtime in election
+// timeouts (wants < 10) with zero acked strong writes lost.
+func consensusJSON(a ConsensusAblation) map[string]any {
+	writes := make([]map[string]any, 0, len(a.Writes))
+	var strongP50, eventualP50 float64
+	for _, row := range a.Writes {
+		writes = append(writes, map[string]any{
+			"config":       row.Config,
+			"writes":       row.Writes,
+			"p50_ms":       round2(row.P50ms),
+			"p95_ms":       round2(row.P95ms),
+			"puts_per_sec": round2(row.PutsPerSec),
+			"errors":       row.Errors,
+		})
+		switch row.Config {
+		case "strong (consensus)":
+			strongP50 = row.P50ms
+		case "eventual (quorum W)":
+			eventualP50 = row.P50ms
+		}
+	}
+	reads := make([]map[string]any, 0, len(a.Reads))
+	var localP50, quorumP50 float64
+	for _, row := range a.Reads {
+		reads = append(reads, map[string]any{
+			"config": row.Config,
+			"reads":  row.Reads,
+			"p50_ms": round2(row.P50ms),
+			"p95_ms": round2(row.P95ms),
+			"errors": row.Errors,
+		})
+		switch row.Config {
+		case "strong leader-local":
+			localP50 = row.P50ms
+		case "eventual quorum (R)":
+			quorumP50 = row.P50ms
+		}
+	}
+	f := a.Failover
+	out := map[string]any{
+		"writers": a.Writers,
+		"writes":  writes,
+		"reads":   reads,
+		"failover": map[string]any{
+			"election_timeout_ms": round2(f.ElectionTimeoutMs),
+			"downtime_ms":         round2(f.DowntimeMs),
+			"downtime_ets":        round2(f.DowntimeETs),
+			"acked_before_kill":   f.AckedBeforeKill,
+			"lost":                f.Lost,
+		},
+	}
+	if eventualP50 > 0 && strongP50 > 0 {
+		out["strong_over_eventual_put_p50"] = round2(strongP50 / eventualP50)
+	}
+	if localP50 > 0 && quorumP50 > 0 {
+		out["quorum_over_leader_local_read_p50"] = round2(quorumP50 / localP50)
 	}
 	return out
 }

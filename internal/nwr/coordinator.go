@@ -166,6 +166,14 @@ type Coordinator struct {
 	// Hint writeback uses it to drain a page per RPC instead of one RPC per
 	// parked record. Nil falls back to per-record replica writes.
 	StreamTo func(ctx context.Context, target string, recs []Record) bool
+	// SkipHint, when non-nil, reports records hint writeback must leave
+	// parked for now. The cluster layer wires it to the consensus tier:
+	// while a log-managed (_strong) record's range is led by a consensus
+	// leader on another node, the replicated log is the only path allowed
+	// to move it — racing an LWW writeback against it could resurrect a
+	// superseded version. Skipped hints stay in the collection and retry
+	// on a later pass.
+	SkipHint func(rec Record) bool
 	// OnLocalOp, when non-nil, runs before every local store operation
 	// with the operation kind and the payload size involved. The
 	// failure-injection framework uses it to model disk I/O errors and
@@ -708,6 +716,7 @@ func (c *Coordinator) deliverHintsTo(ctx context.Context, target string) {
 		if err != nil || len(page) == 0 {
 			return
 		}
+		skipped := 0
 		type hint struct {
 			id  any
 			rec Record
@@ -730,6 +739,10 @@ func (c *Coordinator) deliverHintsTo(ctx context.Context, target string) {
 				if hasID {
 					coll.Delete(id) //nolint:errcheck
 				}
+				continue
+			}
+			if c.SkipHint != nil && c.SkipHint(rec) {
+				skipped++ // stays parked; a later pass retries
 				continue
 			}
 			hints = append(hints, hint{id: id, rec: rec})
@@ -763,6 +776,11 @@ func (c *Coordinator) deliverHintsTo(ctx context.Context, target string) {
 			}
 		}
 		if len(page) < hintPageSize {
+			return
+		}
+		if len(hints) == 0 && skipped > 0 {
+			// A full page of consensus-guarded hints would re-read the same
+			// page forever; stop and let a later pass retry after failover.
 			return
 		}
 	}

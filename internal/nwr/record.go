@@ -33,6 +33,7 @@ type Record struct {
 	Deleted bool   // isDel: tombstone flag; deletes never remove the row
 	Ver     int64  // _ver: origin timestamp (ns) for last-write-wins
 	Origin  string // _origin: coordinator address, tiebreak for equal Ver
+	Strong  bool   // _strong: written through a range's consensus log
 }
 
 // Newer reports whether r should supersede other under last-write-wins.
@@ -43,9 +44,11 @@ func (r Record) Newer(other Record) bool {
 	return r.Origin > other.Origin
 }
 
-// ToDoc renders the record as the paper's BSON document shape.
+// ToDoc renders the record as the paper's BSON document shape. The _strong
+// marker rides along only when set, so eventual-tier documents keep their
+// original shape.
 func (r Record) ToDoc() bson.D {
-	return bson.D{
+	d := bson.D{
 		{Key: "self-key", Value: r.Key},
 		{Key: "val", Value: r.Val},
 		{Key: "isData", Value: boolFlag(r.IsData)},
@@ -53,6 +56,10 @@ func (r Record) ToDoc() bson.D {
 		{Key: "_ver", Value: r.Ver},
 		{Key: "_origin", Value: r.Origin},
 	}
+	if r.Strong {
+		d = append(d, bson.E{Key: "_strong", Value: "1"})
+	}
+	return d
 }
 
 // WithId returns ToDoc prefixed with a fresh ObjectId _id, for insertion.
@@ -91,5 +98,6 @@ func RecordFromDoc(d bson.D) (Record, error) {
 		r.Ver = ver
 	}
 	r.Origin = d.StringOr("_origin", "")
+	r.Strong = d.StringOr("_strong", "0") == "1"
 	return r, nil
 }

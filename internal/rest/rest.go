@@ -46,6 +46,16 @@ type BatchBackend interface {
 	GetMany(ctx context.Context, keys []string) (found map[string][]byte, failed map[string]string, err error)
 }
 
+// StrongBackend is an optional Backend extension serving linearizable
+// operations. /data requests carrying ?consistency=strong route through it;
+// strong GETs bypass the cache tier entirely (a cached value may predate the
+// latest committed write, which is exactly what strong readers pay to avoid).
+type StrongBackend interface {
+	StrongPut(ctx context.Context, key string, val []byte) error
+	StrongGet(ctx context.Context, key string) ([]byte, error)
+	StrongDelete(ctx context.Context, key string) error
+}
+
 // ErrNotFound must be returned (or wrapped) by Backend.Get for absent keys
 // so the gateway can answer 404.
 var ErrNotFound = errors.New("rest: key not found")
@@ -197,6 +207,10 @@ func (g *Gateway) Stats() Stats {
 //	POST   /data/        create with a generated key; returns the key
 //	POST   /batch/get    retrieve many keys in one round (JSON {"keys": [...]})
 //	DELETE /data/{key}   delete
+//
+// /data requests accept ?consistency=strong to route through the backend's
+// linearizable path (StrongBackend); strong GETs bypass the cache tier.
+//
 //	GET    /token?user=u issue a request token (when auth is enabled)
 //	GET    /stats        gateway counters as JSON (unauthenticated)
 //	GET    /metrics      Prometheus text exposition (when Config.Metrics set)
@@ -362,13 +376,21 @@ func (g *Gateway) handleData(w http.ResponseWriter, r *http.Request) {
 		sp.End(nil)
 	}()
 	key := strings.TrimPrefix(r.URL.Path, "/data/")
+	strong := r.URL.Query().Get("consistency") == "strong"
+	if strong {
+		if _, ok := g.backend.(StrongBackend); !ok {
+			g.errs.Add(1)
+			http.Error(w, "strong consistency not supported by this backend", http.StatusNotImplemented)
+			return
+		}
+	}
 	switch r.Method {
 	case http.MethodGet:
-		g.handleGet(w, r, key)
+		g.handleGet(w, r, key, strong)
 	case http.MethodPost:
-		g.handlePost(w, r, key)
+		g.handlePost(w, r, key, strong)
 	case http.MethodDelete:
-		g.handleDelete(w, r, key)
+		g.handleDelete(w, r, key, strong)
 	}
 }
 
@@ -511,9 +533,28 @@ func (g *Gateway) backendGetMany(ctx context.Context, keys []string) (map[string
 	return found, failed, nil
 }
 
-func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request, key string) {
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request, key string, strong bool) {
 	if key == "" {
 		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	if strong {
+		// Straight to the range leader: no cache lookup, no cache fill. The
+		// response reflects every committed write; caching it would let a
+		// later eventual read serve it stale, which is fine, but filling the
+		// cache from here buys nothing a quorum write-through didn't already.
+		var val []byte
+		err := g.pool.Do(r.Context(), func(ctx context.Context) error {
+			var err error
+			val, err = g.backend.(StrongBackend).StrongGet(ctx, key)
+			return err
+		})
+		if err != nil {
+			g.fail(w, err)
+			return
+		}
+		w.Header().Set("X-Cache", "bypass")
+		w.Write(val) //nolint:errcheck
 		return
 	}
 	if g.cfg.Cache != nil {
@@ -542,7 +583,7 @@ func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request, key string) 
 	w.Write(val) //nolint:errcheck
 }
 
-func (g *Gateway) handlePost(w http.ResponseWriter, r *http.Request, key string) {
+func (g *Gateway) handlePost(w http.ResponseWriter, r *http.Request, key string, strong bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, g.cfg.MaxBodyBytes+1))
 	if err != nil {
 		g.fail(w, err)
@@ -562,6 +603,9 @@ func (g *Gateway) handlePost(w http.ResponseWriter, r *http.Request, key string)
 		created = true
 	}
 	err = g.pool.Do(r.Context(), func(ctx context.Context) error {
+		if strong {
+			return g.backend.(StrongBackend).StrongPut(ctx, key, body)
+		}
 		return g.backend.Put(ctx, key, body)
 	})
 	if err != nil {
@@ -579,12 +623,15 @@ func (g *Gateway) handlePost(w http.ResponseWriter, r *http.Request, key string)
 	w.WriteHeader(http.StatusOK)
 }
 
-func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request, key string) {
+func (g *Gateway) handleDelete(w http.ResponseWriter, r *http.Request, key string, strong bool) {
 	if key == "" {
 		http.Error(w, "missing key", http.StatusBadRequest)
 		return
 	}
 	err := g.pool.Do(r.Context(), func(ctx context.Context) error {
+		if strong {
+			return g.backend.(StrongBackend).StrongDelete(ctx, key)
+		}
 		return g.backend.Delete(ctx, key)
 	})
 	if err != nil {

@@ -190,6 +190,16 @@ func (r *Ring) Successors(key string, n int) ([]string, error) {
 	return r.successorsFromLocked(Hash(key), n)
 }
 
+// SuccessorsAt returns the first n distinct physical nodes walking clockwise
+// from an explicit ring-hash position. The consensus tier uses it to derive
+// the replica set of a hash range from the range's start position, the same
+// walk Successors performs from a key's hash.
+func (r *Ring) SuccessorsAt(h uint32, n int) ([]string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.successorsFromLocked(h, n)
+}
+
 // SuccessorsAfterNode returns the first n distinct physical nodes clockwise
 // after any of node's virtual points — used to find supplementary replica
 // targets when a node departs (§5.2.4, Fig 9). The walk starts at the

@@ -180,6 +180,20 @@ type ClusterOptions struct {
 	// CompactionBandwidth caps lsm background compaction I/O per node, in
 	// bytes/sec (token bucket; 0 means unthrottled).
 	CompactionBandwidth int64
+	// StrongRanges, when > 0, turns on the CP replication tier: the ring's
+	// hash space is split into this many contiguous ranges, each replicated
+	// through a leader-leased consensus log. Requests then choose per call:
+	// eventual (default, NWR quorums) or strong (linearizable through the
+	// range leader). 0 leaves the tier off.
+	StrongRanges int
+	// StrongElectionTimeout is the consensus election timeout (default
+	// 150ms); heartbeats run at a third of it and leader leases are clamped
+	// to at most one timeout.
+	StrongElectionTimeout time.Duration
+	// StrongLeaseDuration bounds how long a leader serves local strong
+	// reads after its latest quorum round trip (default: the election
+	// timeout).
+	StrongLeaseDuration time.Duration
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -292,6 +306,9 @@ func (c *Cluster) nodeConfig(i int) cluster.Config {
 		},
 		DisableBreakers:       c.opts.DisableBreakers,
 		Seed:                  seed,
+		StrongRanges:          c.opts.StrongRanges,
+		StrongElectionTimeout: c.opts.StrongElectionTimeout,
+		StrongLeaseDuration:   c.opts.StrongLeaseDuration,
 		DisableMerkleAE:       c.opts.DisableMerkleAE,
 		DisableStreamTransfer: c.opts.DisableStreamTransfer,
 		RepairBandwidth:       c.opts.RepairBandwidth,
@@ -549,6 +566,15 @@ type NodeOptions struct {
 	// CompactionBandwidth caps lsm compaction I/O in bytes/sec (0 =
 	// unthrottled).
 	CompactionBandwidth int64
+	// StrongRanges, when > 0, turns on the CP replication tier. See
+	// ClusterOptions.StrongRanges.
+	StrongRanges int
+	// StrongElectionTimeout is the consensus election timeout (default
+	// 150ms).
+	StrongElectionTimeout time.Duration
+	// StrongLeaseDuration bounds leader-local strong reads (default: the
+	// election timeout).
+	StrongLeaseDuration time.Duration
 	// GossipInterval defaults to 1s.
 	GossipInterval time.Duration
 	// Tracer, when non-nil, is the node-local trace collector incoming
@@ -586,8 +612,11 @@ func ListenNode(ctx context.Context, addr string, opts NodeOptions) (*Node, erro
 				CompactionBandwidth: opts.CompactionBandwidth,
 			},
 		},
-		GossipInterval: opts.GossipInterval,
-		Tracer:         opts.Tracer,
+		StrongRanges:          opts.StrongRanges,
+		StrongElectionTimeout: opts.StrongElectionTimeout,
+		StrongLeaseDuration:   opts.StrongLeaseDuration,
+		GossipInterval:        opts.GossipInterval,
+		Tracer:                opts.Tracer,
 	})
 	if err != nil {
 		tr.Close()

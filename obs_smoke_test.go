@@ -27,6 +27,7 @@ func TestObsSmoke(t *testing.T) {
 		DataDir:       t.TempDir(),
 		Durable:       true,
 		StorageEngine: "lsm",
+		StrongRanges:  4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -72,8 +73,33 @@ func TestObsSmoke(t *testing.T) {
 		resp.Body.Close()
 	}
 
+	// Strong traffic through the CP tier, so the consensus families have
+	// observations: a linearizable write then a leader-local read.
+	resp, err := http.Post(srv.URL+"/data/strong-key?consistency=strong",
+		"application/octet-stream", strings.NewReader("strong-value"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("strong POST: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/data/strong-key?consistency=strong")
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(val) != "strong-value" {
+		t.Fatalf("strong GET: status %d, body %q", resp.StatusCode, val)
+	}
+	if resp.Header.Get("X-Cache") != "bypass" {
+		t.Errorf("strong GET X-Cache = %q, want bypass", resp.Header.Get("X-Cache"))
+	}
+
 	// /metrics must export every required family.
-	resp, err := http.Get(srv.URL + "/metrics")
+	resp, err = http.Get(srv.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,6 +159,15 @@ func TestObsSmoke(t *testing.T) {
 		// transport
 		"mystore_rpc_seconds",
 		"mystore_transport_deadline_dropped_total",
+		// consensus (CP tier)
+		"mystore_consensus_ranges_led",
+		"mystore_consensus_elections_total",
+		"mystore_consensus_elections_won_total",
+		"mystore_consensus_proposals_total",
+		"mystore_consensus_commits_total",
+		"mystore_consensus_applies_total",
+		"mystore_consensus_strong_reads_total",
+		"mystore_consensus_propose_seconds",
 	}
 	for _, fam := range required {
 		if !strings.Contains(page, "# TYPE "+fam+" ") {
@@ -141,8 +176,8 @@ func TestObsSmoke(t *testing.T) {
 	}
 	// Observations actually flowed: the WAL appended and the gateway
 	// histogram counted every request.
-	if !strings.Contains(page, "mystore_gateway_request_seconds_count 8") {
-		t.Errorf("request histogram did not count 8 requests:\n%s", grepLines(page, "mystore_gateway_request_seconds_count"))
+	if !strings.Contains(page, "mystore_gateway_request_seconds_count 10") {
+		t.Errorf("request histogram did not count 10 requests:\n%s", grepLines(page, "mystore_gateway_request_seconds_count"))
 	}
 	if strings.Contains(page, "mystore_cache_hits_total") && !strings.Contains(page, `mystore_cache_hits_total{server=`) {
 		t.Error("cache hits not labeled by server")

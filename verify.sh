@@ -2,7 +2,8 @@
 # verify.sh — the repo's tier-1 gate: vet, build, full test suite, and the
 # race detector on the write path (docstore, wal, transport, nwr), the
 # resilience-bearing packages (cluster, gossip, cache, dispatch, resilience),
-# the repair path (merkle) and the observability packages (metrics, trace).
+# the CP tier (consensus), the repair path (merkle) and the observability
+# packages (metrics, trace).
 # CI and pre-commit both run exactly this.
 set -eux
 
@@ -11,4 +12,4 @@ go build ./...
 go test ./...
 go test -race ./internal/docstore ./internal/lsm ./internal/wal ./internal/transport ./internal/nwr \
 	./internal/cluster ./internal/gossip ./internal/cache ./internal/dispatch ./internal/resilience \
-	./internal/merkle ./internal/metrics ./internal/trace
+	./internal/consensus ./internal/merkle ./internal/metrics ./internal/trace
