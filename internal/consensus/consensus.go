@@ -101,6 +101,12 @@ var (
 	ErrNoQuorum = errors.New("cns: no quorum")
 	// ErrNotReplica means this node is not in the range's replica set.
 	ErrNotReplica = errors.New("cns: not a replica of this range")
+	// ErrPeerMismatch means an incoming RPC carried a replica set that
+	// diverges from the one this group was created (and persisted) with —
+	// the ring changed under a pinned group. Divergent views could form
+	// non-overlapping majorities, so they are rejected loudly until
+	// reconfiguration exists.
+	ErrPeerMismatch = errors.New("cns: replica set mismatch for range")
 	// ErrRingNotReady means the membership view is too small to derive the
 	// range's replica set yet.
 	ErrRingNotReady = errors.New("cns: ring smaller than replication factor")

@@ -23,10 +23,23 @@ type testCluster struct {
 }
 
 type testNode struct {
-	addr  string
-	m     *Manager
-	mu    sync.Mutex
-	store map[string]nwr.Record
+	addr     string
+	m        *Manager
+	mu       sync.Mutex
+	store    map[string]nwr.Record
+	readHook func(key string) // called at the top of every Env.Read
+}
+
+func (tn *testNode) setReadHook(h func(key string)) {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	tn.readHook = h
+}
+
+func (tn *testNode) getReadHook() func(key string) {
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return tn.readHook
 }
 
 func (tn *testNode) apply(rec nwr.Record) {
@@ -97,6 +110,9 @@ func newTestCluster(t *testing.T, n int, walDirs []string) *testCluster {
 				return nil
 			},
 			Read: func(key string) (nwr.Record, bool, error) {
+				if h := tn.getReadHook(); h != nil {
+					h(key)
+				}
 				rec, ok := tn.read(key)
 				return rec, ok, nil
 			},
@@ -511,6 +527,176 @@ func TestWALReplayRestoresLog(t *testing.T) {
 		if string(rec.Val) != "v-"+k {
 			t.Fatalf("replayed %q = %q, want %q", k, rec.Val, "v-"+k)
 		}
+	}
+}
+
+// TestFollowerCommitCappedAtVerifiedPrefix pins the Raft "index of last new
+// entry" rule: a follower holding entries beyond what an append RPC verified
+// must not commit them just because leaderCommit is high — those entries may
+// be a divergent suffix the leader never checked.
+func TestFollowerCommitCappedAtVerifiedPrefix(t *testing.T) {
+	var mu sync.Mutex
+	applied := map[string]bool{}
+	env := Env{
+		Self: "n0",
+		Call: func(ctx context.Context, target, msgType string, body bson.D) (bson.D, error) {
+			return nil, errors.New("test: passive follower")
+		},
+		Apply: func(ctx context.Context, rec nwr.Record) error {
+			mu.Lock()
+			applied[rec.Key] = true
+			mu.Unlock()
+			return nil
+		},
+		Read:     func(key string) (nwr.Record, bool, error) { return nwr.Record{}, false, nil },
+		Replicas: func(lo uint32) ([]string, error) { return []string{"n0", "pa", "pb"}, nil },
+	}
+	m, err := NewManager(Options{
+		Ranges:            4,
+		ReplicationFactor: 3,
+		// Long timeout: the node stays a passive follower for the whole test.
+		ElectionTimeout: 10 * time.Second,
+		Seed:            1,
+	}, env)
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	defer m.Close()
+
+	peers := bson.A{"n0", "pa", "pb"}
+	entry := func(idx, term int64, key string) bson.D {
+		e := Entry{
+			Index: uint64(idx),
+			Term:  uint64(term),
+			Rec:   nwr.Record{Key: key, Val: []byte("v"), IsData: true, Ver: idx, Origin: "pa", Strong: true},
+		}
+		return e.toDoc()
+	}
+	// A term-2 leader replicates entries 1..3; none are committed yet.
+	resp, err := m.HandleMessage(MsgAppend, bson.D{
+		{Key: "rid", Value: int64(0)},
+		{Key: "peers", Value: peers},
+		{Key: "term", Value: int64(2)},
+		{Key: "leader", Value: "pa"},
+		{Key: "prevIdx", Value: int64(0)},
+		{Key: "prevTerm", Value: int64(0)},
+		{Key: "entries", Value: bson.A{entry(1, 2, "cap-a"), entry(2, 2, "cap-b"), entry(3, 2, "cap-c")}},
+		{Key: "commit", Value: int64(0)},
+	})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if ok, _ := resp.Get("ok"); ok != true {
+		t.Fatalf("append refused: %v", resp)
+	}
+	// A term-3 leader (which may have replaced entries 2..3 on its own log)
+	// heartbeats with prevIdx 1 and commit 3. Only index 1 was verified by
+	// this RPC; the follower must not commit its unverified 2..3 suffix.
+	resp, err = m.HandleMessage(MsgAppend, bson.D{
+		{Key: "rid", Value: int64(0)},
+		{Key: "peers", Value: peers},
+		{Key: "term", Value: int64(3)},
+		{Key: "leader", Value: "pb"},
+		{Key: "prevIdx", Value: int64(1)},
+		{Key: "prevTerm", Value: int64(2)},
+		{Key: "entries", Value: bson.A{}},
+		{Key: "commit", Value: int64(3)},
+	})
+	if err != nil {
+		t.Fatalf("heartbeat: %v", err)
+	}
+	if ok, _ := resp.Get("ok"); ok != true {
+		t.Fatalf("heartbeat refused: %v", resp)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !applied["cap-a"] {
+		t.Fatal("verified entry 1 not applied after commit advance")
+	}
+	if applied["cap-b"] || applied["cap-c"] {
+		t.Fatal("unverified suffix committed: heartbeat covered only index 1")
+	}
+}
+
+// TestDivergentPeerSetRejected pins the split-quorum guard: an incoming RPC
+// whose replica set diverges from the group's pinned set fails loudly.
+func TestDivergentPeerSetRejected(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	tc.mu.Lock()
+	n0 := tc.nodes["n0"]
+	tc.mu.Unlock()
+	// Create the group on n0 with the pinned set {n0, n1, n2}.
+	if _, err := n0.m.HandleMessage(MsgVote, bson.D{
+		{Key: "rid", Value: int64(0)},
+		{Key: "peers", Value: bson.A{"n0", "n1", "n2"}},
+		{Key: "term", Value: int64(1)},
+		{Key: "from", Value: "n1"},
+		{Key: "lastIdx", Value: int64(0)},
+		{Key: "lastTerm", Value: int64(0)},
+	}); err != nil {
+		t.Fatalf("vote (group creation): %v", err)
+	}
+	// A divergent membership view must be rejected, not silently adopted.
+	_, err := n0.m.HandleMessage(MsgAppend, bson.D{
+		{Key: "rid", Value: int64(0)},
+		{Key: "peers", Value: bson.A{"n0", "n1", "rogue"}},
+		{Key: "term", Value: int64(1)},
+		{Key: "leader", Value: "n1"},
+		{Key: "prevIdx", Value: int64(0)},
+		{Key: "prevTerm", Value: int64(0)},
+		{Key: "commit", Value: int64(0)},
+	})
+	if !errors.Is(err, ErrPeerMismatch) {
+		t.Fatalf("divergent peer set: got %v, want ErrPeerMismatch", err)
+	}
+	// The same set in a different order is the same membership view.
+	if _, err := n0.m.HandleMessage(MsgAppend, bson.D{
+		{Key: "rid", Value: int64(0)},
+		{Key: "peers", Value: bson.A{"n2", "n0", "n1"}},
+		{Key: "term", Value: int64(1)},
+		{Key: "leader", Value: "n1"},
+		{Key: "prevIdx", Value: int64(0)},
+		{Key: "prevTerm", Value: int64(0)},
+		{Key: "commit", Value: int64(0)},
+	}); errors.Is(err, ErrPeerMismatch) {
+		t.Fatal("permuted peer set rejected; order must not matter")
+	}
+}
+
+// TestStrongReadRefusedWhenLeaseExpiresMidRead pins the lease re-check after
+// the local read: a leader that stalls past its lease mid-read must refuse
+// the result instead of returning a possibly-stale value.
+func TestStrongReadRefusedWhenLeaseExpiresMidRead(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	key := "mid-read"
+	ctx := context.Background()
+	var leader *testNode
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline) && leader == nil; {
+		for _, tn := range tc.nodes {
+			if tn.m.Put(ctx, key, []byte("v"), true) == nil {
+				leader = tn
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader == nil {
+		t.Fatal("no leader within 3s")
+	}
+	if _, err := leader.m.Get(ctx, key); err != nil {
+		t.Fatalf("healthy strong get: %v", err)
+	}
+	// Stall the next read past the lease: cut the leader off (so append acks
+	// cannot extend the lease) and sleep well beyond LeaseDuration.
+	var once sync.Once
+	leader.setReadHook(func(string) {
+		once.Do(func() {
+			tc.partition(leader.addr)
+			time.Sleep(300 * time.Millisecond) // LeaseDuration is 50ms here
+		})
+	})
+	if _, err := leader.m.Get(ctx, key); err == nil {
+		t.Fatal("strong read served a value after the lease expired mid-read")
 	}
 }
 

@@ -200,9 +200,15 @@ func (g *group) startElectionLocked(now time.Time) {
 			if err != nil {
 				return
 			}
-			if t := int64Or(resp, "term", 0); uint64(t) > electionTerm {
+			if t := uint64(int64Or(resp, "term", 0)); t > electionTerm {
 				g.mu.Lock()
-				g.stepDownLocked(uint64(t), "")
+				// Step down only if the response still beats our current
+				// term: a stale response from an old election must not
+				// demote a node that has since moved on (or won) at a
+				// higher term.
+				if t > g.term {
+					g.stepDownLocked(t, "")
+				}
 				g.mu.Unlock()
 				return
 			}
@@ -674,9 +680,12 @@ func (g *group) handleAppend(body bson.D) (bson.D, error) {
 		return reply, nil
 	}
 
-	// Append new entries, overwriting any conflicting suffix.
+	// Append new entries, overwriting any conflicting suffix. lastCovered
+	// tracks the highest index this RPC verified: prevIdx (checked by the
+	// log-matching test above) plus every entry matched in place or appended.
 	var maxLSN wal.LSN
 	appended := uint64(0)
+	lastCovered := prevIdx
 	if v, ok := body.Get("entries"); ok {
 		if arr, isArr := v.(bson.A); isArr {
 			for _, ev := range arr {
@@ -690,6 +699,7 @@ func (g *group) handleAppend(body bson.D) (bson.D, error) {
 				}
 				if e.Index <= g.lastIndex() {
 					if g.termAt(e.Index) == e.Term {
+						lastCovered = e.Index
 						continue // already have it
 					}
 					g.truncateFromLocked(e.Index)
@@ -704,6 +714,7 @@ func (g *group) handleAppend(body bson.D) (bson.D, error) {
 				if lsn := g.persistEntryLocked(e); lsn > maxLSN {
 					maxLSN = lsn
 				}
+				lastCovered = e.Index
 				appended++
 			}
 		}
@@ -719,9 +730,14 @@ func (g *group) handleAppend(body bson.D) (bson.D, error) {
 
 	g.mu.Lock()
 	if commit > g.commitIndex {
+		// Raft's "index of last new entry" rule: advance the commit index
+		// only through the prefix this RPC verified. Capping at our own
+		// lastIndex instead could commit a divergent, never-verified suffix
+		// (stale-term entries beyond the append window, or a suffix retained
+		// across a snapshot install).
 		c := commit
-		if li := g.lastIndex(); c > li {
-			c = li
+		if c > lastCovered {
+			c = lastCovered
 		}
 		if c > g.commitIndex {
 			g.commitIndex = c
@@ -934,6 +950,32 @@ func (g *group) walFloor() wal.LSN {
 }
 
 // --- helpers -------------------------------------------------------------
+
+// checkPeers rejects a replica set that diverges from the one this group was
+// created (and persisted) with. Replica sets are pinned at creation until
+// reconfiguration lands, so after a ring change different nodes could hold
+// the same range with non-overlapping majorities; set inequality fails
+// loudly here instead of silently forming a split quorum. Order-insensitive:
+// both sides derive from the same ring walk, but set membership is the
+// invariant that matters. g.peers is immutable, so no lock is needed.
+func (g *group) checkPeers(peers []string) error {
+	if len(peers) != len(g.peers) {
+		return ErrPeerMismatch
+	}
+	for _, p := range peers {
+		found := false
+		for _, q := range g.peers {
+			if p == q {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return ErrPeerMismatch
+		}
+	}
+	return nil
+}
 
 func peersDoc(peers []string) bson.A {
 	out := make(bson.A, len(peers))

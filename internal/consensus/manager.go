@@ -164,6 +164,7 @@ func (m *Manager) groupForKey(key string) (*group, error) {
 // the replica set. peers, when non-nil, is the authoritative set from an
 // incoming RPC; otherwise it is derived from the ring walk.
 func (m *Manager) groupFor(rid int, peers []string) (*group, error) {
+	fromRPC := peers != nil
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -171,6 +172,11 @@ func (m *Manager) groupFor(rid int, peers []string) (*group, error) {
 	}
 	if g, ok := m.groups[rid]; ok {
 		m.mu.Unlock()
+		if fromRPC {
+			if err := g.checkPeers(peers); err != nil {
+				return nil, err
+			}
+		}
 		return g, nil
 	}
 	m.mu.Unlock()
@@ -210,6 +216,11 @@ func (m *Manager) groupFor(rid int, peers []string) (*group, error) {
 		return nil, ErrClosed
 	}
 	if g, ok := m.groups[rid]; ok {
+		if fromRPC {
+			if err := g.checkPeers(peers); err != nil {
+				return nil, err
+			}
+		}
 		return g, nil
 	}
 	g := m.newGroup(rid, peers)
@@ -304,6 +315,14 @@ func (m *Manager) Get(ctx context.Context, key string) (nwr.Record, error) {
 	}
 	m.strongReads.Add(1)
 	rec, found, err := m.env.Read(key)
+	if err == nil {
+		// Re-verify the lease now that the read has completed: if this
+		// goroutine stalled past leaseUntil mid-read, a new leader may have
+		// committed a write elsewhere and the value above could be stale.
+		if lerr := g.leaderRead(); lerr != nil {
+			err = lerr
+		}
+	}
 	sp.End(err)
 	if err != nil {
 		return nwr.Record{}, err
